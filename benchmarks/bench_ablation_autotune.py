@@ -1,0 +1,37 @@
+"""Extension — empirical auto-tuning (the paper's future-work item).
+
+The simulator-driven search must land on (or tie with) the analytic
+derivation, empirically confirming the theory-guided choice of
+8x6 / 512x56x1920.
+"""
+
+from conftest import save_report
+
+from repro.analysis import format_table
+from repro.blocking import autotune, solve_cache_blocking
+from repro.arch import XGENE
+
+
+def test_ablation_autotune(benchmark, report_dir):
+    results = benchmark(
+        lambda: autotune(threads=1, problem_size=2048, max_tiles=3)
+    )
+    top = results[:8]
+    text = format_table(
+        ["rank", "tile", "kc x mc x nc", "efficiency %"],
+        [
+            [i + 1, r.kernel, str(r.blocking), r.efficiency * 100]
+            for i, r in enumerate(top)
+        ],
+        title="Auto-tuning ablation: simulator-scored block-size search",
+    )
+    save_report(report_dir, "ablation_autotune", text)
+
+    analytic = solve_cache_blocking(XGENE, 8, 6, threads=1)
+    best = results[0]
+    assert best.kernel == "8x6"
+    assert (best.blocking.kc, best.blocking.mc, best.blocking.nc) == (
+        analytic.kc,
+        analytic.mc,
+        analytic.nc,
+    )

@@ -1,0 +1,31 @@
+"""Fig. 11 — performance vs matrix size, four implementations, one thread.
+
+Shape requirements: 8x6 dominates across the sweep (it beats ATLAS at
+every size, as the paper states), and every curve ramps up to a plateau.
+"""
+
+from conftest import BENCH_SIZES, save_report
+
+from repro.analysis import fig11_serial_sweep, format_series
+
+
+def test_fig11_serial_sweep(benchmark, report_dir):
+    data = benchmark(lambda: fig11_serial_sweep(sizes=BENCH_SIZES))
+    series = [
+        (name, [r.gflops for r in results]) for name, results in data.items()
+    ]
+    text = format_series(
+        list(BENCH_SIZES),
+        series,
+        x_label="size",
+        title="Fig. 11: DGEMM Gflops vs size (1 thread)",
+    )
+    save_report(report_dir, "fig11_serial_sweep", text)
+
+    ours = data["OpenBLAS-8x6"]
+    atlas = data["ATLAS-5x5"]
+    for r86, r55 in zip(ours, atlas):
+        assert r86.gflops > r55.gflops, r86.m
+    # Plateau: the last point is within 2% of the sweep's peak.
+    gf = [r.gflops for r in ours]
+    assert gf[-1] > 0.98 * max(gf)

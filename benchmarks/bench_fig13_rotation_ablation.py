@@ -1,0 +1,36 @@
+"""Fig. 13 — effectiveness of software-implemented register rotation.
+
+Shape requirements: the rotated 8x6 beats the unrotated one at every size
+in both serial and parallel settings, by a few percent.
+"""
+
+from conftest import BENCH_SIZES, save_report
+
+from repro.analysis import fig13_rotation_ablation, format_series
+
+
+def test_fig13_rotation_ablation(benchmark, report_dir):
+    data = benchmark(lambda: fig13_rotation_ablation(sizes=BENCH_SIZES))
+    blocks = []
+    for setting, curves in data.items():
+        series = [
+            (name, [r.gflops for r in results])
+            for name, results in curves.items()
+        ]
+        blocks.append(
+            format_series(
+                list(BENCH_SIZES),
+                series,
+                x_label="size",
+                title=f"Fig. 13 ({setting}): 8x6 with vs without rotation",
+            )
+        )
+    save_report(report_dir, "fig13_rotation_ablation", "\n\n".join(blocks))
+
+    for setting, curves in data.items():
+        rot = curves["OpenBLAS-8x6"]
+        no = curves["OpenBLAS-8x6w/oRR"]
+        for a, b in zip(rot, no):
+            assert a.gflops > b.gflops, (setting, a.m)
+        gain = max(r.gflops for r in rot) / max(r.gflops for r in no)
+        assert 1.01 < gain < 1.12, setting

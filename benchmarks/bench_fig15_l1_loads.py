@@ -1,0 +1,34 @@
+"""Fig. 15 — number of L1-dcache-loads vs matrix size.
+
+Shape requirements: 8x6 issues the fewest loads at every size (its
+(mr+nr)/(2*mr*nr) loads-per-flop is the smallest), 4x4 the most; counts
+grow cubically; the magnitude at the top of the sweep is ~10^10, as in
+the paper's y-axis.
+"""
+
+from conftest import BENCH_SIZES, save_report
+
+from repro.analysis import fig15_l1_loads, format_series
+
+
+def test_fig15_l1_loads(benchmark, report_dir):
+    data = benchmark(lambda: fig15_l1_loads(sizes=BENCH_SIZES))
+    series = [
+        (name, [v / 1e10 for v in vals]) for name, vals in data.items()
+    ]
+    text = format_series(
+        list(BENCH_SIZES),
+        series,
+        x_label="size",
+        title="Fig. 15: L1-dcache-loads (x 10^10)",
+    )
+    save_report(report_dir, "fig15_l1_loads", text)
+
+    for threads in (1, 8):
+        l86 = data[f"OpenBLAS-8x6 ({threads}T)"]
+        l84 = data[f"OpenBLAS-8x4 ({threads}T)"]
+        l44 = data[f"OpenBLAS-4x4 ({threads}T)"]
+        for a, b, c in zip(l86, l84, l44):
+            assert a < b < c
+    # Magnitude check at the largest size (paper: a few x 10^10).
+    assert 1e10 < data["OpenBLAS-8x6 (1T)"][-1] < 1e11

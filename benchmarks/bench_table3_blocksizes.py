@@ -1,0 +1,26 @@
+"""Table III — analytically derived block sizes for 8x6 / 8x4 / 4x4.
+
+The engine must reproduce every published entry exactly.
+"""
+
+from conftest import save_report
+
+from repro.analysis import format_table, table3_blocksizes
+
+PAPER = {
+    "8x6": ("8x6x512x56x1920", "8x6x512x24x1792"),
+    "8x4": ("8x4x768x32x1280", "8x4x768x16x1192"),
+    "4x4": ("4x4x768x32x1280", "4x4x768x16x1192"),
+}
+
+
+def test_table3_blocksizes(benchmark, report_dir):
+    rows = benchmark(table3_blocksizes)
+    text = format_table(
+        ["kernel", "one thread (mr x nr x kc x mc x nc)", "eight threads"],
+        rows,
+        title="Table III: derived block sizes (all entries match the paper)",
+    )
+    save_report(report_dir, "table3_blocksizes", text)
+    for kernel, serial, parallel in rows:
+        assert (serial, parallel) == PAPER[kernel], kernel

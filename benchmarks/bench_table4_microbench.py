@@ -1,0 +1,32 @@
+"""Table IV — efficiency under varying LDR:FMLA ratios.
+
+The calibrated model must land within 2 points of every published ratio;
+the structural scoreboard bound is reported alongside.
+"""
+
+import math
+
+from conftest import save_report
+
+from repro.analysis import format_table, table4_microbench
+
+
+def test_table4_microbench(benchmark, report_dir):
+    rows = benchmark(table4_microbench)
+    text = format_table(
+        ["LDR:FMLA", "structural (%)", "model (%)", "paper (%)"],
+        [
+            [
+                r.ratio_label,
+                r.structural_efficiency * 100,
+                r.model_efficiency * 100,
+                r.paper_efficiency * 100,
+            ]
+            for r in rows
+        ],
+        title="Table IV: micro-benchmark efficiencies",
+    )
+    save_report(report_dir, "table4_microbench", text)
+    for r in rows:
+        if not math.isnan(r.paper_efficiency):
+            assert abs(r.model_efficiency - r.paper_efficiency) < 0.02

@@ -1,0 +1,43 @@
+"""Table V — peak/average efficiency of the four DGEMM implementations.
+
+Shape requirements: OpenBLAS-8x6 wins every metric; serial efficiencies
+within ~2 points of the paper; the paper's serial ordering
+8x6 > 8x4 > ATLAS-5x5 > 4x4 holds.
+"""
+
+from conftest import BENCH_SIZES, save_report
+
+from repro.analysis import format_table, table5_efficiency
+
+
+def test_table5_efficiency(benchmark, report_dir):
+    rows = benchmark(lambda: table5_efficiency(sizes=BENCH_SIZES))
+    text = format_table(
+        ["impl", "threads", "peak %", "paper peak %", "avg %", "paper avg %"],
+        [
+            [
+                r.kernel,
+                r.threads,
+                r.peak * 100,
+                r.paper_peak * 100,
+                r.average * 100,
+                r.paper_average * 100,
+            ]
+            for r in rows
+        ],
+        title="Table V: DGEMM efficiencies (model vs paper)",
+    )
+    save_report(report_dir, "table5_efficiency", text)
+
+    by = {(r.kernel, r.threads): r for r in rows}
+    for threads in (1, 8):
+        effs = [by[(k, threads)].peak for k in (
+            "OpenBLAS-8x6", "OpenBLAS-8x4", "ATLAS-5x5", "OpenBLAS-4x4")]
+        assert effs[0] == max(effs)
+    # Serial ordering identical to the paper's.
+    serial = [by[(k, 1)].peak for k in (
+        "OpenBLAS-8x6", "OpenBLAS-8x4", "ATLAS-5x5", "OpenBLAS-4x4")]
+    assert serial == sorted(serial, reverse=True)
+    # Serial peaks within 2 points.
+    for k in ("OpenBLAS-8x6", "OpenBLAS-8x4", "ATLAS-5x5", "OpenBLAS-4x4"):
+        assert abs(by[(k, 1)].peak - by[(k, 1)].paper_peak) < 0.02

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures and writes the
+formatted exhibit to ``benchmarks/results/``; pytest-benchmark records the
+runtime of the regeneration itself.
+"""
+
+import pathlib
+
+import pytest
+
+#: The sweep used by bench targets: the paper's 256..6400 range at a
+#: coarser step so the whole harness runs in minutes. Pass the full grid
+#: via experiments.DEFAULT_SIZES (step 256) or range(256, 6401, 128).
+BENCH_SIZES = tuple(range(256, 6401, 512))
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    (report_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Block-size analysis: walk the paper's Sec. IV derivation end to end.
+
+Reproduces, for the X-Gene-class chip:
+- the register-blocking optimum (Fig. 5): mr x nr = 8x6, nrf = 6,
+  gamma = 6.857;
+- the cache-blocking chain (eqs. (15)/(17)/(18)): kc = 512, mc = 56,
+  nc = 1920, with the cache-occupancy fractions the paper quotes;
+- the multi-threaded adjustment (eqs. (19)/(20)): mc = 24, nc = 1792;
+- the prefetch distances PREFA = 1024 and PREFB = 24576;
+- the layer-by-layer compute-to-memory ratios (eqs. (8)/(14)/(16)).
+
+Run:  python examples/block_size_analysis.py
+"""
+
+from repro.arch import XGENE
+from repro.blocking import (
+    RegisterBlockingProblem,
+    goto_blocking,
+    plan_prefetch,
+    solve_cache_blocking,
+)
+from repro.model import RatioBreakdown
+
+
+def main() -> None:
+    chip = XGENE
+
+    # -- register blocking (Sec. IV-A) --------------------------------------
+    problem = RegisterBlockingProblem.from_core(chip.core)
+    best = problem.solve()
+    print("register blocking (eqs. (8)-(11)):")
+    print(f"  optimum: mr x nr = {best.mr}x{best.nr}, nrf = {best.nrf}, "
+          f"gamma = {best.gamma:.3f}")
+    print(f"  C tile uses {best.c_registers} vector registers; "
+          f"{best.ab_registers} rotate for A/B\n")
+
+    # -- cache blocking (Sec. IV-B) ------------------------------------------
+    serial = solve_cache_blocking(chip, best.mr, best.nr, threads=1)
+    l1_frac = serial.kc * best.nr * 8 / chip.l1d.size_bytes
+    l2_frac = serial.mc * serial.kc * 8 / chip.l2.size_bytes
+    l3_frac = serial.kc * serial.nc * 8 / chip.l3.size_bytes
+    print("cache blocking, one thread (eqs. (15)/(17)/(18)):")
+    print(f"  {serial}   (k1={serial.k1}, k2={serial.k2}, k3={serial.k3})")
+    print(f"  B sliver fills {l1_frac:.2f} of L1, A block {l2_frac:.2f} of "
+          f"L2, B panel {l3_frac:.2f} of L3\n")
+
+    # -- parallel adjustment (Sec. IV-C) --------------------------------------
+    print("cache blocking under threads (eqs. (19)/(20)):")
+    for threads in (1, 2, 4, 8):
+        blk = solve_cache_blocking(chip, best.mr, best.nr, threads=threads)
+        print(f"  {threads} thread(s): {blk}")
+    print()
+
+    # -- prefetch distances ----------------------------------------------------
+    pf = plan_prefetch(best.mr, best.nr, serial.kc)
+    print(f"prefetch distances: PREFA = {pf.prefa_bytes} B (A into L1), "
+          f"PREFB = {pf.prefb_bytes} B (B into L2)\n")
+
+    # -- gamma across layers -----------------------------------------------------
+    ratios = RatioBreakdown.for_blocking(best.mr, best.nr, serial.kc, serial.mc)
+    print("compute-to-memory ratios across GEBP layers:")
+    print(f"  register kernel (eq. 8):  {ratios.register_kernel:.3f}")
+    print(f"  GESS/GEBS (eq. 14):       {ratios.gess:.3f}")
+    print(f"  GEBP (eq. 16):            {ratios.gebp:.3f}\n")
+
+    # -- comparison with the half-cache heuristic ----------------------------------
+    goto = goto_blocking(chip, best.mr, best.nr)
+    print(f"Goto half-cache heuristic would pick: {goto} "
+          "(Table VI's comparison point)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Inspect L1 occupancy during GEBP — eq. (15)'s intent vs LRU reality.
+
+The paper's kc derivation reserves k1 = 1 of the L1's 4 ways for the C
+tile and the streaming A column, leaving 3 ways for the resident
+kc x nr B sliver (3/4 of the cache). Replaying a GEBP slice through the
+set-associative simulator shows something the arithmetic alone cannot:
+under *strict LRU*, the A stream (touched once per iteration, just like
+B's lines) ends up sharing the ways roughly evenly with B — the static
+reservation is not literally enforced by the replacement policy. What
+keeps B-sliver accesses fast on the real machine is the pair of
+prefetchers (PLDL1KEEP + the hardware sequential prefetcher), which cover
+both streams' fills; the reservation arithmetic guarantees there is
+*capacity* for this to work without thrashing.
+
+Run:  python examples/cache_occupancy.py
+"""
+
+from repro.arch import XGENE
+from repro.blocking import solve_cache_blocking
+from repro.kernels import KERNEL_8X6
+from repro.memory import MemoryHierarchy
+from repro.sim import simulate_gebp_cache
+
+# The address regions simulate_gebp_cache assigns per stream.
+REGION_NAMES = [
+    (0x00000000, 1 << 28, "A"),
+    (1 << 28, 1 << 29, "B"),
+    (1 << 29, 1 << 30, "C"),
+]
+
+
+def owner(line: int, line_bytes: int) -> str:
+    addr = line * line_bytes
+    for lo, hi, name in REGION_NAMES:
+        if lo <= addr < hi:
+            return name
+    return "?"
+
+
+def main() -> None:
+    chip = XGENE
+    blocking = solve_cache_blocking(chip, 8, 6)
+    hierarchy = MemoryHierarchy(chip)
+    result = simulate_gebp_cache(
+        KERNEL_8X6, blocking, chip=chip, hierarchy=hierarchy
+    )
+    print(f"GEBP slice replayed: {result.l1_loads} L1 loads, "
+          f"{result.l1_load_miss_rate:.1%} miss rate\n")
+
+    l1 = hierarchy.l1[0]
+    line_bytes = chip.l1d.line_bytes
+    print("L1 occupancy after the run (sampled sets):\n")
+    print("set  | ways (stream owning each resident line)")
+    print("-----+----------------------------------------")
+    counts = {"A": 0, "B": 0, "C": 0, "?": 0}
+    for s in range(chip.l1d.num_sets):
+        owners = []
+        lru_set = l1._lru_sets[s]
+        for line in lru_set:
+            name = owner(line, line_bytes)
+            owners.append(name)
+            counts[name] += 1
+        if s % 16 == 0:
+            print(f"{s:4d} | {' '.join(owners)}")
+    total = sum(counts.values())
+    print("\nway occupancy by stream:")
+    for name in "ABC":
+        frac = counts[name] / total if total else 0.0
+        print(f"  {name}: {counts[name]:4d} lines ({frac:.1%})")
+    b_frac = counts["B"] / total if total else 0.0
+    print(f"\ndesign intent: B resident in 3/4 of the cache;"
+          f" measured under strict LRU: {b_frac:.0%}.")
+    print("The streams share ways ~evenly — residency is delivered by the")
+    print("prefetchers, for which eq. (15) guarantees the capacity:")
+    print(f"  miss rate with prefetchers: {result.l1_load_miss_rate:.1%}")
+
+    # Re-run with prefetching disabled to show the capacity claim matters.
+    bare = simulate_gebp_cache(
+        KERNEL_8X6, blocking, chip=chip, prefetch=False, hw_late=1.0
+    )
+    print(f"  miss rate without them:     {bare.l1_load_miss_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Apply the paper's method to a different (hypothetical) ARM SoC.
+
+The whole point of the theory-guided approach is that nothing is specific
+to the X-Gene: the register-blocking optimum, the cache block sizes, the
+prefetch distances and the predicted efficiency all derive from the
+architecture description. This example defines a beefier 16-core chip
+(wider SIMD would change eq. (11); here we grow caches and core count)
+and re-derives everything.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro.arch import KB, MB, CacheParams, ChipParams, CoreParams, DramParams
+from repro.blocking import (
+    RegisterBlockingProblem,
+    plan_prefetch,
+    solve_cache_blocking,
+)
+from repro.sim import GemmSimulator
+
+BIG_SOC = ChipParams(
+    name="hypothetical-armv8-16core",
+    cores=16,
+    cores_per_module=4,
+    core=CoreParams(
+        issue_width=4,
+        fma_pipes=1,
+        load_ports=1,
+        fma_latency=4,
+        fma_throughput_cycles=2,
+        load_latency=4,
+        fp_registers=32,
+        fp_register_bytes=16,
+        frequency_hz=2.6e9,
+    ),
+    l1d=CacheParams(name="L1D", size_bytes=64 * KB, line_bytes=64, ways=4,
+                    latency_cycles=4, shared_by=1),
+    l2=CacheParams(name="L2", size_bytes=1 * MB, line_bytes=64, ways=16,
+                   latency_cycles=14, shared_by=4),
+    l3=CacheParams(name="L3", size_bytes=16 * MB, line_bytes=64, ways=16,
+                   latency_cycles=42, shared_by=16),
+    dram=DramParams(latency_cycles=200, bandwidth_bytes_per_cycle=32.0,
+                    bridges=2),
+)
+
+
+def main() -> None:
+    chip = BIG_SOC
+    print(f"chip: {chip.name}  ({chip.cores} cores, "
+          f"{chip.peak_flops / 1e9:.1f} Gflops peak)\n")
+
+    # Register blocking is a function of the register file alone — with
+    # the same A64 file, the 8x6 optimum carries over.
+    best = RegisterBlockingProblem.from_core(chip.core).solve()
+    print(f"register blocking: {best.mr}x{best.nr} (gamma {best.gamma:.3f})")
+
+    # Cache blocking tracks the larger caches.
+    for threads in (1, chip.cores):
+        blk = solve_cache_blocking(chip, best.mr, best.nr, threads=threads)
+        print(f"  {threads:2d} thread(s): {blk}")
+    blk1 = solve_cache_blocking(chip, best.mr, best.nr, threads=1)
+    pf = plan_prefetch(best.mr, best.nr, blk1.kc)
+    print(f"prefetch distances: PREFA={pf.prefa_bytes}, "
+          f"PREFB={pf.prefb_bytes}\n")
+
+    # Predicted DGEMM efficiency on the new chip.
+    sim = GemmSimulator(chip)
+    for threads in (1, 4, 16):
+        p = sim.simulate("OpenBLAS-8x6", 4096, 4096, 4096, threads=threads)
+        print(f"simulated {threads:2d} thread(s): {p.gflops:6.2f} Gflops "
+              f"({p.efficiency * 100:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [
+        max(len(r[i]) for r in str_rows) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for idx, row in enumerate(str_rows):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[object],
+    series: Sequence[tuple],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render (name, values) series against a shared x axis.
+
+    Args:
+        x: The x-axis values.
+        series: ``(name, values)`` pairs, each values sequence aligned
+            with ``x``.
+        x_label: Header of the x column.
+        title: Optional heading.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [vals[i] for _, vals in series])
+    return format_table(headers, rows, title=title)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,17 @@
+"""Downstream applications built on the reproduction's DGEMM."""
+
+from repro.apps.lu import (
+    LuResult,
+    linpack_residual,
+    lu_factor,
+    lu_solve,
+    reconstruct,
+)
+
+__all__ = [
+    "LuResult",
+    "lu_factor",
+    "lu_solve",
+    "linpack_residual",
+    "reconstruct",
+]

@@ -1,0 +1,27 @@
+"""Architecture descriptions for the simulated ARMv8 machine."""
+
+from repro.arch.params import (
+    CacheParams,
+    ChipParams,
+    CoreParams,
+    DramParams,
+    ReplacementPolicy,
+    TlbParams,
+    WritePolicy,
+)
+from repro.arch.presets import KB, MB, MOBILE_SOC, XGENE, single_core
+
+__all__ = [
+    "CacheParams",
+    "ChipParams",
+    "CoreParams",
+    "DramParams",
+    "ReplacementPolicy",
+    "TlbParams",
+    "WritePolicy",
+    "XGENE",
+    "MOBILE_SOC",
+    "KB",
+    "MB",
+    "single_core",
+]

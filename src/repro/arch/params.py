@@ -1,0 +1,282 @@
+"""Architecture parameter descriptions.
+
+These dataclasses capture everything the paper's analytic machinery consumes:
+cache geometry (size, associativity, line size, replacement policy, sharing),
+core resources (issue width, FMA pipes, register file), and chip topology
+(cores grouped into dual-core modules sharing an L2, modules sharing an L3).
+
+Every formula in Sections III and IV of the paper — the compute-to-memory
+ratios (7)/(8)/(14)/(16) and the block-size constraints (9)-(11), (15),
+(17)-(20) — is a pure function of these parameters, which is what makes the
+block-size engine architecture-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ArchitectureError
+
+
+class ReplacementPolicy(enum.Enum):
+    """Cache replacement policies supported by the simulator."""
+
+    LRU = "lru"
+    RANDOM = "random"
+    PLRU = "plru"  # tree pseudo-LRU
+
+
+class WritePolicy(enum.Enum):
+    """Cache write policies supported by the simulator."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and behaviour of one cache level.
+
+    Attributes:
+        name: Human-readable level name ("L1D", "L2", "L3").
+        size_bytes: Total capacity in bytes.
+        line_bytes: Cache line size in bytes.
+        ways: Set associativity (number of ways).
+        latency_cycles: Load-to-use latency on a hit, in core cycles.
+        replacement: Replacement policy.
+        write_policy: Write policy (the paper's caches are write-back).
+        shared_by: Number of cores that share one instance of this cache.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    latency_cycles: int
+    replacement: ReplacementPolicy = ReplacementPolicy.LRU
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    shared_by: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ArchitectureError(
+                f"{self.name}: size, line size and ways must be positive"
+            )
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ArchitectureError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"line_bytes*ways = {self.line_bytes * self.ways}"
+            )
+        if self.latency_cycles < 0:
+            raise ArchitectureError(f"{self.name}: negative latency")
+        if self.shared_by < 1:
+            raise ArchitectureError(f"{self.name}: shared_by must be >= 1")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets: size / (line * ways)."""
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the cache."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def way_bytes(self) -> int:
+        """Capacity of a single way in bytes (= size / ways)."""
+        return self.size_bytes // self.ways
+
+    def lines_for(self, nbytes: int) -> int:
+        """Number of cache lines needed to hold ``nbytes`` contiguous bytes."""
+        if nbytes < 0:
+            raise ArchitectureError("nbytes must be non-negative")
+        return -(-nbytes // self.line_bytes)
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Resources of one core.
+
+    Attributes:
+        issue_width: Instructions issued per cycle (X-Gene: 4).
+        fma_pipes: Number of FP pipelines supporting FMA (X-Gene: 1).
+        load_ports: Number of load/store ports usable per cycle.
+        fma_latency: FMA result latency in cycles.
+        fma_throughput_cycles: Inverse throughput of one vector FMLA — a new
+            FMLA starts on a pipe every this many cycles. The X-Gene core
+            peaks at 4.8 Gflops at 2.4 GHz (paper Sec. II-A), i.e. 2 flops
+            per cycle, so a 4-flop vector FMLA issues every 2 cycles.
+        load_latency: L1-hit load-to-use latency in cycles.
+        fp_registers: Number of architectural FP/SIMD registers (A64: 32).
+        fp_register_bytes: Width of each FP register in bytes (NEON: 16).
+        rename_registers: Physical FP registers available for renaming beyond
+            the architectural file. The paper stresses ARMv8 has fewer than
+            x86, motivating software register rotation.
+        frequency_hz: Core clock (X-Gene: 2.4 GHz).
+        flops_per_fma: FLOPs counted per scalar FMA lane (mul+add = 2).
+    """
+
+    issue_width: int = 4
+    fma_pipes: int = 1
+    load_ports: int = 1
+    fma_latency: int = 5
+    fma_throughput_cycles: int = 2
+    load_latency: int = 4
+    fp_registers: int = 32
+    fp_register_bytes: int = 16
+    rename_registers: int = 8
+    frequency_hz: float = 2.4e9
+    flops_per_fma: int = 2
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ArchitectureError("issue_width must be >= 1")
+        if self.fma_throughput_cycles < 1:
+            raise ArchitectureError("fma_throughput_cycles must be >= 1")
+        if self.fma_pipes < 1 or self.load_ports < 1:
+            raise ArchitectureError("fma_pipes and load_ports must be >= 1")
+        if self.fp_registers < 2:
+            raise ArchitectureError("need at least 2 FP registers")
+        if self.fp_register_bytes not in (8, 16, 32, 64):
+            raise ArchitectureError(
+                f"unsupported FP register width {self.fp_register_bytes}"
+            )
+        if self.frequency_hz <= 0:
+            raise ArchitectureError("frequency must be positive")
+
+    @property
+    def doubles_per_register(self) -> int:
+        """How many float64 values fit in one FP register (NEON 128-bit: 2)."""
+        return self.fp_register_bytes // 8
+
+    @property
+    def flops_per_cycle(self) -> float:
+        """Peak double-precision FLOPs per cycle of one core."""
+        lanes = self.doubles_per_register
+        return (
+            self.fma_pipes * lanes * self.flops_per_fma
+            / self.fma_throughput_cycles
+        )
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of one core.
+
+        One vector FMA every ``fma_throughput_cycles`` on each FMA pipe,
+        each operating on a full register of float64 lanes, two FLOPs per
+        lane. For the X-Gene parameters this is 4.8 Gflops.
+        """
+        return self.frequency_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Main-memory timing.
+
+    Attributes:
+        latency_cycles: Access latency seen by a core, in core cycles.
+        bandwidth_bytes_per_cycle: Sustainable bandwidth per memory bridge.
+        bridges: Number of memory bridges (X-Gene: 2, Fig. 1).
+    """
+
+    latency_cycles: int = 180
+    bandwidth_bytes_per_cycle: float = 16.0
+    bridges: int = 2
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles <= 0 or self.bandwidth_bytes_per_cycle <= 0:
+            raise ArchitectureError("DRAM latency/bandwidth must be positive")
+        if self.bridges < 1:
+            raise ArchitectureError("need at least one memory bridge")
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """TLB geometry (the paper's future-work item, modeled here).
+
+    Attributes:
+        entries: Number of TLB entries.
+        page_bytes: Page size in bytes.
+        miss_penalty_cycles: Cycles charged per TLB miss (walk cost).
+    """
+
+    entries: int = 512
+    page_bytes: int = 4096
+    miss_penalty_cycles: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.page_bytes < 1:
+            raise ArchitectureError("TLB entries/page size must be positive")
+
+
+@dataclass(frozen=True)
+class ChipParams:
+    """A whole multi-core chip.
+
+    Attributes:
+        name: Chip name.
+        cores: Total number of cores.
+        cores_per_module: Cores per dual-core module sharing an L2.
+        core: Core resource description.
+        l1d: Per-core L1 data cache.
+        l2: Per-module L2 cache.
+        l3: Chip-wide L3 cache (``None`` for two-level hierarchies).
+        dram: Main-memory timing.
+        tlb: Optional TLB description.
+    """
+
+    name: str
+    cores: int
+    cores_per_module: int
+    core: CoreParams
+    l1d: CacheParams
+    l2: CacheParams
+    l3: Optional[CacheParams]
+    dram: DramParams = field(default_factory=DramParams)
+    tlb: Optional[TlbParams] = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ArchitectureError("chip needs at least one core")
+        if self.cores_per_module < 1 or self.cores % self.cores_per_module:
+            raise ArchitectureError(
+                f"{self.cores} cores do not divide into modules of "
+                f"{self.cores_per_module}"
+            )
+        if self.l1d.shared_by != 1:
+            raise ArchitectureError("L1D must be private to a core")
+        if self.l2.shared_by != self.cores_per_module:
+            raise ArchitectureError(
+                "L2 shared_by must equal cores_per_module"
+            )
+        if self.l3 is not None and self.l3.shared_by != self.cores:
+            raise ArchitectureError("L3 must be shared by all cores")
+
+    @property
+    def modules(self) -> int:
+        """Number of dual-core (in general, multi-core) modules."""
+        return self.cores // self.cores_per_module
+
+    @property
+    def cache_levels(self) -> Tuple[CacheParams, ...]:
+        """The cache levels from fastest to slowest, omitting a missing L3."""
+        levels = [self.l1d, self.l2]
+        if self.l3 is not None:
+            levels.append(self.l3)
+        return tuple(levels)
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of the whole chip."""
+        return self.core.peak_flops * self.cores
+
+    def peak_flops_for(self, threads: int) -> float:
+        """Peak double-precision FLOP/s for ``threads`` single-thread cores."""
+        if not 1 <= threads <= self.cores:
+            raise ArchitectureError(
+                f"thread count {threads} out of range 1..{self.cores}"
+            )
+        return self.core.peak_flops * threads

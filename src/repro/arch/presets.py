@@ -1,0 +1,149 @@
+"""Preset chip descriptions.
+
+:data:`XGENE` mirrors the evaluation platform of the paper (Fig. 1 and
+Table II): an eight-core 64-bit ARMv8 chip at 2.4 GHz, one FMA pipeline per
+core (4.8 Gflops/core peak), 32 KB 4-way L1D per core, 256 KB 16-way L2 per
+dual-core module, and an 8 MB 16-way L3 shared by all four modules. Cache
+lines are 64 bytes throughout and all caches are LRU — the associativity and
+replacement facts the paper's block-size constraints (15), (17), (18) rely
+on.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import (
+    CacheParams,
+    ChipParams,
+    CoreParams,
+    DramParams,
+    ReplacementPolicy,
+    TlbParams,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+#: The paper's X-Gene-class 64-bit ARMv8 eight-core processor.
+XGENE = ChipParams(
+    name="armv8-xgene-8core",
+    cores=8,
+    cores_per_module=2,
+    core=CoreParams(
+        issue_width=4,
+        fma_pipes=1,
+        load_ports=1,
+        fma_latency=5,
+        fma_throughput_cycles=2,
+        load_latency=4,
+        fp_registers=32,
+        fp_register_bytes=16,
+        rename_registers=8,
+        frequency_hz=2.4e9,
+    ),
+    l1d=CacheParams(
+        name="L1D",
+        size_bytes=32 * KB,
+        line_bytes=64,
+        ways=4,
+        latency_cycles=4,
+        replacement=ReplacementPolicy.LRU,
+        shared_by=1,
+    ),
+    l2=CacheParams(
+        name="L2",
+        size_bytes=256 * KB,
+        line_bytes=64,
+        ways=16,
+        latency_cycles=12,
+        replacement=ReplacementPolicy.LRU,
+        shared_by=2,
+    ),
+    l3=CacheParams(
+        name="L3",
+        size_bytes=8 * MB,
+        line_bytes=64,
+        ways=16,
+        latency_cycles=40,
+        replacement=ReplacementPolicy.LRU,
+        shared_by=8,
+    ),
+    dram=DramParams(
+        latency_cycles=180,
+        bandwidth_bytes_per_cycle=16.0,
+        bridges=2,
+    ),
+    tlb=TlbParams(entries=512, page_bytes=4096, miss_penalty_cycles=30),
+)
+
+
+#: A little-core mobile SoC: four 2-issue cores, private 512 KB L2s and
+#: no L3 — exercises the two-level-hierarchy paths (B panels stream from
+#: DRAM; eq. (18) has no cache to bind nc).
+MOBILE_SOC = ChipParams(
+    name="armv8-mobile-4core",
+    cores=4,
+    cores_per_module=1,
+    core=CoreParams(
+        issue_width=2,
+        fma_pipes=1,
+        load_ports=1,
+        fma_latency=5,
+        fma_throughput_cycles=2,
+        load_latency=3,
+        fp_registers=32,
+        fp_register_bytes=16,
+        frequency_hz=1.8e9,
+    ),
+    l1d=CacheParams(
+        name="L1D", size_bytes=32 * KB, line_bytes=64, ways=4,
+        latency_cycles=3, shared_by=1,
+    ),
+    l2=CacheParams(
+        name="L2", size_bytes=512 * KB, line_bytes=64, ways=16,
+        latency_cycles=14, shared_by=1,
+    ),
+    l3=None,
+    dram=DramParams(
+        latency_cycles=150, bandwidth_bytes_per_cycle=8.0, bridges=1
+    ),
+)
+
+
+def single_core(chip: ChipParams = XGENE) -> ChipParams:
+    """A one-core view of ``chip`` with the same per-core cache geometry.
+
+    Useful for serial experiments: the L2 and L3 keep their sizes but are
+    private, matching the paper's serial setting where one thread owns the
+    whole hierarchy.
+    """
+    return ChipParams(
+        name=f"{chip.name}-1core",
+        cores=1,
+        cores_per_module=1,
+        core=chip.core,
+        l1d=chip.l1d,
+        l2=CacheParams(
+            name=chip.l2.name,
+            size_bytes=chip.l2.size_bytes,
+            line_bytes=chip.l2.line_bytes,
+            ways=chip.l2.ways,
+            latency_cycles=chip.l2.latency_cycles,
+            replacement=chip.l2.replacement,
+            write_policy=chip.l2.write_policy,
+            shared_by=1,
+        ),
+        l3=None
+        if chip.l3 is None
+        else CacheParams(
+            name=chip.l3.name,
+            size_bytes=chip.l3.size_bytes,
+            line_bytes=chip.l3.line_bytes,
+            ways=chip.l3.ways,
+            latency_cycles=chip.l3.latency_cycles,
+            replacement=chip.l3.replacement,
+            write_policy=chip.l3.write_policy,
+            shared_by=1,
+        ),
+        dram=chip.dram,
+        tlb=chip.tlb,
+    )

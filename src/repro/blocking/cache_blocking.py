@@ -1,0 +1,237 @@
+"""Cache block size selection (paper Sec. IV-B/IV-C, eqs. (15)-(20)).
+
+For each cache level the paper reserves ``k`` of the ``assoc`` ways for the
+"small" resident datum and the remaining ``assoc - k`` ways for the "large"
+one, choosing the smallest integer ``k`` that fits the small side — which
+maximizes the large side and hence the layer's compute-to-memory ratio:
+
+- L1 (eq. 15):  small = one mr x nr C tile plus two A columns;
+                large = the kc x nr sliver of B           -> determines kc;
+- L2 (eq. 17):  small = the kc x nr B sliver;
+                large = the mc x kc block of A            -> determines mc;
+- L3 (eq. 18):  small = the mc x kc A block;
+                large = the kc x nc panel of B            -> determines nc.
+
+In the multi-threaded setting (eqs. 19/20) the per-cache factors grow with
+the number of threads sharing each level: ``threads_per_module`` blocks of A
+share an L2 and all ``threads`` blocks of A share the L3.
+
+Derived sizes are floored to a whole number of cache lines of elements
+(8 float64 per 64-byte line), which keeps packed slivers line-aligned for
+prefetching; with this rule the engine reproduces every entry of the
+paper's Table III exactly, including the 8-thread cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.params import CacheParams, ChipParams
+from repro.errors import BlockingError
+
+
+@dataclass(frozen=True)
+class CacheBlocking:
+    """A full blocking configuration for the Goto loop nest.
+
+    Attributes:
+        mr, nr: Register tile (from :mod:`repro.blocking.register_blocking`).
+        kc: Depth of one rank-k update (L1-determined).
+        mc: Rows of an A block (L2-determined).
+        nc: Columns of a B panel (L3-determined).
+        k1, k2, k3: Ways reserved for the small datum at L1/L2/L3.
+    """
+
+    mr: int
+    nr: int
+    kc: int
+    mc: int
+    nc: int
+    k1: int
+    k2: int
+    k3: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mr}x{self.nr}x{self.kc}x{self.mc}x{self.nc}"
+        )
+
+    @property
+    def label(self) -> str:
+        """Short kernel label like ``8x6``."""
+        return f"{self.mr}x{self.nr}"
+
+
+def _floor_to(value: int, multiple: int) -> int:
+    if multiple <= 0:
+        raise BlockingError("multiple must be positive")
+    return (value // multiple) * multiple
+
+
+def _reserve_ways(cache: CacheParams, small_bytes: int) -> int:
+    """Smallest k with ``small_bytes <= k * way_bytes`` (0 < k < assoc)."""
+    k = max(1, math.ceil(small_bytes / cache.way_bytes))
+    if k >= cache.ways:
+        raise BlockingError(
+            f"{cache.name}: resident datum of {small_bytes} B does not "
+            f"leave a way free ({cache.ways} ways of {cache.way_bytes} B)"
+        )
+    return k
+
+
+def solve_kc(
+    l1: CacheParams,
+    mr: int,
+    nr: int,
+    element_size: int = 8,
+    max_kc: Optional[int] = None,
+) -> "tuple[int, int]":
+    """Eq. (15): the largest kc such that a kc x nr sliver of B occupies at
+    most ``assoc1 - k1`` ways of the L1 cache, where k1 ways hold the C tile
+    and two A columns. Returns ``(kc, k1)``."""
+    small = (mr * nr + 2 * mr) * element_size
+    k1 = _reserve_ways(l1, small)
+    budget = (l1.ways - k1) * l1.way_bytes
+    kc = budget // (nr * element_size)
+    if max_kc is not None:
+        kc = min(kc, max_kc)
+    if kc < 1:
+        raise BlockingError("no feasible kc: L1 too small for this tile")
+    return kc, k1
+
+
+def solve_mc(
+    l2: CacheParams,
+    kc: int,
+    nr: int,
+    mr: int,
+    element_size: int = 8,
+    sharers: int = 1,
+    line_elements: int = 8,
+) -> "tuple[int, int]":
+    """Eq. (17) (serial) / eq. (19) (shared L2): the largest mc such that
+    ``sharers`` A blocks of mc x kc fill at most ``assoc2 - k2`` ways, where
+    k2 ways hold the sharers' kc x nr B slivers. Returns ``(mc, k2)``."""
+    if sharers < 1:
+        raise BlockingError("sharers must be >= 1")
+    small = sharers * kc * nr * element_size
+    k2 = _reserve_ways(l2, small)
+    budget = (l2.ways - k2) * l2.way_bytes
+    mc = budget // (sharers * kc * element_size)
+    mc = _floor_to(mc, max(line_elements, mr) if mr <= line_elements else mr)
+    if mc < mr:
+        raise BlockingError("no feasible mc: L2 too small for this kc")
+    return mc, k2
+
+
+def solve_nc(
+    l3: CacheParams,
+    kc: int,
+    mc: int,
+    element_size: int = 8,
+    sharers: int = 1,
+    line_elements: int = 8,
+) -> "tuple[int, int]":
+    """Eq. (18) (serial) / eq. (20) (shared L3): the largest nc such that a
+    kc x nc panel of B fills at most ``assoc3 - k3`` ways, where k3 ways
+    hold the ``sharers`` mc x kc A blocks. Returns ``(nc, k3)``."""
+    if sharers < 1:
+        raise BlockingError("sharers must be >= 1")
+    small = sharers * mc * kc * element_size
+    k3 = _reserve_ways(l3, small)
+    budget = (l3.ways - k3) * l3.way_bytes
+    nc = budget // (kc * element_size)
+    nc = _floor_to(nc, line_elements)
+    if nc < 1:
+        raise BlockingError("no feasible nc: L3 too small for this blocking")
+    return nc, k3
+
+
+def solve_cache_blocking(
+    chip: ChipParams,
+    mr: int,
+    nr: int,
+    threads: int = 1,
+    element_size: int = 8,
+    kc_override: Optional[int] = None,
+) -> CacheBlocking:
+    """Derive (kc, mc, nc) for ``mr x nr`` on ``chip`` with ``threads``
+    threads.
+
+    Thread placement follows the paper (Sec. V): threads spread across
+    modules first, so with t <= modules each thread owns a whole L2 and the
+    L2 constraint is the serial one; with more threads,
+    ``ceil(t / modules)`` threads share each L2. All t threads share the L3
+    (each contributes its own A block, eq. (20)).
+
+    Args:
+        chip: Architecture description.
+        mr, nr: Register tile.
+        threads: Number of DGEMM threads (1..chip.cores).
+        element_size: Bytes per matrix element.
+        kc_override: Force kc (used when reproducing the paper's 8x4/4x4
+            configurations, which share kc = 768).
+    """
+    if not 1 <= threads <= chip.cores:
+        raise BlockingError(
+            f"threads {threads} out of range 1..{chip.cores}"
+        )
+    line_elements = chip.l1d.line_bytes // element_size
+
+    kc, k1 = solve_kc(chip.l1d, mr, nr, element_size)
+    if kc_override is not None:
+        kc = kc_override
+
+    l2_sharers = max(1, math.ceil(threads / chip.modules))
+    mc, k2 = solve_mc(
+        chip.l2, kc, nr, mr, element_size, sharers=l2_sharers,
+        line_elements=line_elements,
+    )
+
+    if chip.l3 is None:
+        # Two-level hierarchy: B panels stream from DRAM; bound nc only by
+        # a pragmatic multiple of nr (no L3 residency constraint).
+        nc, k3 = 1024 - 1024 % nr, 0
+    else:
+        nc, k3 = solve_nc(
+            chip.l3, kc, mc, element_size, sharers=threads,
+            line_elements=line_elements,
+        )
+    return CacheBlocking(
+        mr=mr, nr=nr, kc=kc, mc=mc, nc=nc, k1=k1, k2=k2, k3=k3
+    )
+
+
+def goto_blocking(
+    chip: ChipParams,
+    mr: int,
+    nr: int,
+    element_size: int = 8,
+    threads: int = 1,
+) -> CacheBlocking:
+    """The half-cache heuristic of Goto & van de Geijn [5], used by the
+    paper's Table VI as the comparison point: an mc x kc block of A fills
+    about half the L2 and a kc x nr sliver of B about half the L1 — set
+    associativity and replacement are ignored. When ``threads`` share an
+    L2, the per-thread A block shrinks proportionally (the rule ATLAS's
+    auto-tuner approximates empirically).
+
+    Sizes are floored to multiples of 64 elements (kc) and the register
+    tile (mc, nc) to stay implementation-friendly.
+    """
+    half_l1 = chip.l1d.size_bytes // 2
+    kc = _floor_to(half_l1 // (nr * element_size), 64)
+    l2_sharers = max(1, -(-threads // chip.modules))
+    half_l2 = chip.l2.size_bytes // (2 * l2_sharers)
+    mc = _floor_to(max(mr, (half_l2 // (kc * element_size)) * 2 - mr), mr)
+    if chip.l3 is not None:
+        nc = _floor_to(
+            (chip.l3.size_bytes * 3 // 4) // (kc * element_size), 2 * nr
+        )
+    else:
+        nc = 1024 - 1024 % nr
+    return CacheBlocking(
+        mr=mr, nr=nr, kc=kc, mc=mc, nc=nc, k1=0, k2=0, k3=0
+    )

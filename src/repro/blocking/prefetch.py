@@ -1,0 +1,58 @@
+"""Prefetch distance selection (paper Sec. IV-B, final part).
+
+Two software-prefetch streams exist in GEBP:
+
+- **B** (``PLDL2KEEP``): while the *current* kc x nr sliver of B multiplies
+  the last slivers of A, the *next* sliver of B is prefetched into the L2
+  cache. The distance is a whole sliver ahead:
+  ``PREFB = kc * nr * element_size`` (24576 bytes for the 8x6 blocking).
+
+- **A** (``PLDL1KEEP``): each mr x 1 column sub-sliver of A must be in the
+  L1 cache when consumed, so A is prefetched a short distance ahead:
+  ``PREFA = alpha_prea * unroll * mr * element_size`` (2 * 8 * 8 * 8 = 1024
+  bytes), i.e. two unrolled loop bodies ahead of the consumption point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BlockingError
+
+#: The paper's lookahead factor for the A stream.
+DEFAULT_ALPHA_PREA = 2
+#: The register kernel is unrolled by this factor (Table I).
+DEFAULT_UNROLL = 8
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Prefetch distances for the GEBP inner kernel.
+
+    Attributes:
+        prefa_bytes: Lookahead for the A stream (into L1).
+        prefb_bytes: Lookahead for the B stream (into L2).
+        unroll: Register-kernel unroll factor.
+    """
+
+    prefa_bytes: int
+    prefb_bytes: int
+    unroll: int = DEFAULT_UNROLL
+
+
+def plan_prefetch(
+    mr: int,
+    nr: int,
+    kc: int,
+    element_size: int = 8,
+    alpha_prea: int = DEFAULT_ALPHA_PREA,
+    unroll: int = DEFAULT_UNROLL,
+) -> PrefetchPlan:
+    """Compute the paper's PREFA/PREFB distances for a blocking."""
+    if min(mr, nr, kc, element_size, alpha_prea, unroll) <= 0:
+        raise BlockingError("all prefetch parameters must be positive")
+    return PrefetchPlan(
+        prefa_bytes=alpha_prea * unroll * mr * element_size,
+        prefb_bytes=kc * nr * element_size,
+        unroll=unroll,
+    )

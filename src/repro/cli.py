@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    repro blocks --mr 8 --nr 6 --threads 8     # Table III derivation
+    repro kernel --variant OpenBLAS-8x6        # Fig. 8 assembly
+    repro simulate --kernel OpenBLAS-8x6 --size 4096 --threads 8
+    repro microbench                           # Table IV ladder
+    repro sweep --threads 8 --start 256 --stop 6400 --step 512
+
+All subcommands print plain text; ``main`` returns a process exit code so
+it can be unit-tested directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.report import format_series, format_table
+from repro.arch.presets import XGENE
+from repro.blocking.cache_blocking import solve_cache_blocking
+from repro.blocking.register_blocking import RegisterBlockingProblem
+from repro.errors import ReproError
+from repro.kernels.variants import VARIANTS, get_variant
+from repro.sim.gemm_sim import GemmSimulator
+from repro.sim.microbench import run_microbench
+
+
+def _cmd_blocks(args: argparse.Namespace) -> int:
+    chip = XGENE
+    if args.mr is None or args.nr is None:
+        best = RegisterBlockingProblem.from_core(chip.core).solve()
+        mr, nr = best.mr, best.nr
+        print(f"register blocking: {mr}x{nr} (gamma {best.gamma:.3f}, "
+              f"nrf {best.nrf})")
+    else:
+        mr, nr = args.mr, args.nr
+    blk = solve_cache_blocking(chip, mr, nr, threads=args.threads)
+    print(f"cache blocking for {args.threads} thread(s) on {chip.name}: "
+          f"{blk}  (k1={blk.k1}, k2={blk.k2}, k3={blk.k3})")
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    kernel = get_variant(args.variant, kc=args.kc)
+    body = kernel.body
+    print(f"// {args.variant}: {len(body)} instructions per body "
+          f"({body.num_fmla} fmla, {body.num_loads} ldr, "
+          f"{body.num_prefetches} prfm), LDR:FMLA = "
+          f"{body.ldr_fmla_ratio[0]}:{body.ldr_fmla_ratio[1]}")
+    print(f"// rotation distance {kernel.plan.min_distance}, "
+          f"schedule distance {kernel.schedule.min_load_use_distance}")
+    print(body.to_text())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    sim = GemmSimulator(XGENE)
+    m = args.m or args.size
+    n = args.n or args.size
+    k = args.k or args.size
+    perf = sim.simulate(args.kernel, m, n, k, threads=args.threads)
+    print(f"{args.kernel} on {m}x{n}x{k}, {args.threads} thread(s): "
+          f"{perf.gflops:.2f} Gflops ({perf.efficiency:.1%} of "
+          f"{XGENE.peak_flops_for(args.threads) / 1e9:.1f} Gflops peak)")
+    print(f"blocking: {perf.blocking}")
+    total = sum(v for k_, v in perf.breakdown.items()
+                if k_ != "bandwidth_floor")
+    for name, cycles in perf.breakdown.items():
+        if name == "bandwidth_floor":
+            continue
+        print(f"  {name:10s} {cycles / max(total, 1):6.1%} of modeled cycles")
+    return 0
+
+
+def _cmd_microbench(_args: argparse.Namespace) -> int:
+    rows = run_microbench()
+    print(format_table(
+        ["LDR:FMLA", "model %", "paper %"],
+        [[r.ratio_label, r.model_efficiency * 100, r.paper_efficiency * 100]
+         for r in rows],
+        title="Table IV ladder",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sim = GemmSimulator(XGENE)
+    sizes = list(range(args.start, args.stop + 1, args.step))
+    series = []
+    for kernel in args.kernels:
+        gfs = [
+            sim.simulate(kernel, s, s, s, threads=args.threads).gflops
+            for s in sizes
+        ]
+        series.append((kernel, gfs))
+    print(format_series(sizes, series, x_label="size",
+                        title=f"Gflops vs size ({args.threads} thread(s))"))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    """Regenerate every paper exhibit into a results directory."""
+    import pathlib
+
+    from repro.analysis import (
+        fig7_schedule,
+        fig8_codegen,
+        fig13_rotation_ablation,
+        fig14_scaling,
+        fig15_l1_loads,
+        format_series,
+        format_table,
+        table1_rotation,
+        table3_blocksizes,
+        table4_microbench,
+        table5_efficiency,
+        table6_blocksize_sensitivity,
+        table7_miss_rates,
+        fig11_serial_sweep,
+        fig12_parallel_sweep,
+    )
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sizes = tuple(range(args.start, args.stop + 1, args.step))
+
+    def save(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {out / (name + '.txt')}")
+
+    save("table1_rotation", format_table(
+        ["slot"] + [f"#{i}" for i in range(8)],
+        [[slot] + regs for slot, regs in table1_rotation().items()],
+        title="Table I"))
+    rep = fig7_schedule()
+    save("fig7_schedule", format_table(
+        ["scheme", "rotation", "schedule"],
+        [["paper", rep.rotation_distance_paper, rep.schedule_distance_paper],
+         ["solved", rep.rotation_distance_solved,
+          rep.schedule_distance_solved]], title="Figs. 6/7"))
+    save("fig8_codegen", fig8_codegen())
+    save("table3_blocksizes", format_table(
+        ["kernel", "1 thread", "8 threads"], table3_blocksizes(),
+        title="Table III"))
+    save("table4_microbench", format_table(
+        ["ratio", "model %", "paper %"],
+        [[r.ratio_label, r.model_efficiency * 100, r.paper_efficiency * 100]
+         for r in table4_microbench()], title="Table IV"))
+    save("table5_efficiency", format_table(
+        ["impl", "T", "peak %", "paper %", "avg %", "paper avg %"],
+        [[r.kernel, r.threads, r.peak * 100, r.paper_peak * 100,
+          r.average * 100, r.paper_average * 100]
+         for r in table5_efficiency(sizes=sizes)], title="Table V"))
+    for name, data in (("fig11_serial_sweep", fig11_serial_sweep(sizes)),
+                       ("fig12_parallel_sweep", fig12_parallel_sweep(sizes))):
+        save(name, format_series(
+            list(sizes),
+            [(k, [r.gflops for r in v]) for k, v in data.items()],
+            x_label="size", title=name))
+    abl = fig13_rotation_ablation(sizes)
+    blocks = []
+    for setting, curves in abl.items():
+        blocks.append(format_series(
+            list(sizes),
+            [(k, [r.gflops for r in v]) for k, v in curves.items()],
+            x_label="size", title=f"Fig. 13 ({setting})"))
+    save("fig13_rotation_ablation", "\n\n".join(blocks))
+    scal = fig14_scaling(sizes)
+    save("fig14_scaling", format_series(
+        list(sizes),
+        [(f"{t}T", [r.gflops for r in v]) for t, v in sorted(scal.items())],
+        x_label="size", title="Fig. 14"))
+    save("table6_blocksize_sensitivity", format_table(
+        ["setting", "config", "peak %", "avg %"],
+        [[s_, c, p * 100, a * 100]
+         for s_, c, p, a in table6_blocksize_sensitivity(sizes=sizes)],
+        title="Table VI"))
+    loads = fig15_l1_loads(sizes)
+    save("fig15_l1_loads", format_series(
+        list(sizes),
+        [(k, [x / 1e10 for x in v]) for k, v in loads.items()],
+        x_label="size", title="Fig. 15 (x 10^10 loads)"))
+    save("table7_miss_rates", format_table(
+        ["kernel", "T", "model %", "paper %"],
+        [[k, t, mr * 100, pr * 100] for k, t, mr, pr in table7_miss_rates()],
+        title="Table VII"))
+    print(f"all exhibits written to {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARMv8 DGEMM reproduction (ICPP 2015) toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("blocks", help="derive block sizes analytically")
+    p.add_argument("--mr", type=int, default=None)
+    p.add_argument("--nr", type=int, default=None)
+    p.add_argument("--threads", type=int, default=1)
+    p.set_defaults(func=_cmd_blocks)
+
+    p = sub.add_parser("kernel", help="emit register-kernel assembly")
+    p.add_argument("--variant", default="OpenBLAS-8x6",
+                   choices=sorted(VARIANTS))
+    p.add_argument("--kc", type=int, default=512)
+    p.set_defaults(func=_cmd_kernel)
+
+    p = sub.add_parser("simulate", help="predict DGEMM performance")
+    p.add_argument("--kernel", default="OpenBLAS-8x6",
+                   choices=sorted(VARIANTS))
+    p.add_argument("--size", type=int, default=2048)
+    p.add_argument("-m", type=int, default=None)
+    p.add_argument("-n", type=int, default=None)
+    p.add_argument("-k", type=int, default=None)
+    p.add_argument("--threads", type=int, default=1)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("microbench", help="the Table IV LDR:FMLA ladder")
+    p.set_defaults(func=_cmd_microbench)
+
+    p = sub.add_parser(
+        "experiments",
+        help="regenerate every paper table/figure into a directory",
+    )
+    p.add_argument("--out", default="results")
+    p.add_argument("--start", type=int, default=256)
+    p.add_argument("--stop", type=int, default=6400)
+    p.add_argument("--step", type=int, default=512)
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("sweep", help="Gflops vs matrix size")
+    p.add_argument("--kernels", nargs="+",
+                   default=["OpenBLAS-8x6", "ATLAS-5x5"],
+                   choices=sorted(VARIANTS))
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--start", type=int, default=256)
+    p.add_argument("--stop", type=int, default=4096)
+    p.add_argument("--step", type=int, default=512)
+    p.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause while letting genuine
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture description is inconsistent or unsupported."""
+
+
+class AssemblyError(ReproError):
+    """A textual A64 instruction could not be parsed or encoded."""
+
+
+class RegisterAllocationError(ReproError):
+    """Register allocation / rotation could not satisfy its constraints."""
+
+
+class SchedulingError(ReproError):
+    """Instruction scheduling could not satisfy its constraints."""
+
+
+class BlockingError(ReproError):
+    """Analytic block-size selection has no feasible solution."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator was driven into an invalid state."""
+
+
+class GemmError(ReproError):
+    """Invalid operands or configuration for a GEMM call."""

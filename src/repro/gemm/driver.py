@@ -1,0 +1,130 @@
+"""The DGEMM driver — layers 1-3 of the Goto algorithm (paper Fig. 2).
+
+``dgemm`` computes ``C := alpha * A @ B + beta * C`` for column-major
+float64 matrices through the exact blocking/packing structure of the paper:
+
+- layer 1: partition C and B into ``nc``-column panels (loop ``jj``);
+- layer 2: partition A into ``kc``-deep column panels and B into ``kc x nc``
+  row panels (loop ``kk``) — C is updated by a sequence of rank-kc GEPPs,
+  with ``beta`` applied on the first one;
+- layer 3: partition each A panel into ``mc x kc`` blocks (loop ``ii``) —
+  GEPP becomes a series of GEBP calls.
+
+B panels are packed once per (jj, kk) iteration; A blocks once per
+(jj, kk, ii). The optional :class:`~repro.gemm.trace.GemmTrace` records the
+loop structure for the performance simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blocking.cache_blocking import CacheBlocking
+from repro.errors import GemmError
+from repro.gemm.gebp import gebp
+from repro.gemm.packing import pack_a, pack_b
+from repro.gemm.trace import GemmTrace
+
+#: The paper's headline configuration (Table III, serial).
+DEFAULT_BLOCKING = CacheBlocking(
+    mr=8, nr=6, kc=512, mc=56, nc=1920, k1=1, k2=2, k3=1
+)
+
+
+def _validate_operands(
+    a: "np.ndarray", b: "np.ndarray", c: "np.ndarray"
+) -> None:
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise GemmError("A, B and C must be 2-D")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise GemmError(f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    if c.shape != (m, n):
+        raise GemmError(f"C has shape {c.shape}, expected {(m, n)}")
+
+
+def dgemm(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c: "np.ndarray",
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    blocking: Optional[CacheBlocking] = None,
+    trace: Optional[GemmTrace] = None,
+) -> "np.ndarray":
+    """Blocked, packed DGEMM: ``C := alpha * A @ B + beta * C``.
+
+    Args:
+        a: ``M x K`` matrix.
+        b: ``K x N`` matrix.
+        c: ``M x N`` matrix, updated in place (a float64 copy is made and
+            returned if ``c`` is not float64/writable).
+        alpha, beta: Scalars of the BLAS interface.
+        blocking: Block sizes; defaults to the paper's 8x6 serial blocking.
+        trace: Optional structural trace collector.
+
+    Returns:
+        The updated C (same object as ``c`` when possible).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c_arr = np.asarray(c)
+    if c_arr.dtype != np.float64 or not c_arr.flags.writeable:
+        c_arr = np.array(c_arr, dtype=np.float64)
+    _validate_operands(a, b, c_arr)
+    blk = blocking or DEFAULT_BLOCKING
+    m, k = a.shape
+    _, n = b.shape
+
+    if trace is not None:
+        trace.m, trace.n, trace.k, trace.threads = m, n, k, 1
+
+    if alpha == 0.0 or k == 0:
+        if beta == 0.0:
+            c_arr[:] = 0.0
+        else:
+            c_arr *= beta
+        return c_arr
+
+    # Layer 1: jj over N in steps of nc.
+    for jj in range(0, n, blk.nc):
+        ncur = min(blk.nc, n - jj)
+        # Layer 2: kk over K in steps of kc.
+        first_k = True
+        for kk in range(0, k, blk.kc):
+            kcur = min(blk.kc, k - kk)
+            if first_k and beta != 1.0:
+                if beta == 0.0:
+                    # BLAS semantics: beta = 0 overwrites C without
+                    # reading it (NaN/Inf in C must not leak through).
+                    c_arr[:, jj : jj + ncur] = 0.0
+                else:
+                    c_arr[:, jj : jj + ncur] *= beta
+            # Pack the kc x nc panel of B (alpha folded into B once).
+            b_panel = b[kk : kk + kcur, jj : jj + ncur]
+            packed_b = pack_b(
+                b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
+            )
+            if trace is not None:
+                trace.record_pack("B", kcur, ncur)
+            # Layer 3: ii over M in steps of mc.
+            for ii in range(0, m, blk.mc):
+                mcur = min(blk.mc, m - ii)
+                packed_a = pack_a(a[ii : ii + mcur, kk : kk + kcur], blk.mr)
+                if trace is not None:
+                    trace.record_pack("A", mcur, kcur)
+                    trace.record_gebp(
+                        mcur, kcur, ncur, beta_pass=first_k
+                    )
+                gebp(
+                    packed_a,
+                    packed_b,
+                    c_arr[ii : ii + mcur, jj : jj + ncur],
+                    blk.mr,
+                    blk.nr,
+                )
+            first_k = False
+    return c_arr

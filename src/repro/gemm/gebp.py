@@ -1,0 +1,83 @@
+"""GEBP — the inner kernel (paper Fig. 2, layers 4-7).
+
+``gebp`` multiplies a packed ``mc x kc`` block of A with a packed
+``kc x nc`` panel of B and accumulates into the corresponding ``mc x nc``
+panel of C. The loop structure follows the paper exactly:
+
+- layer 5 (GEBS): over the panel's ``kc x nr`` B slivers;
+- layer 6 (GESS, the BLIS micro-kernel): over the block's ``mr x kc`` A
+  slivers;
+- layer 7: the rank-1-update register kernel, realized functionally as one
+  small matrix product ``C_tile += a_sliver^T @ b_sliver`` — mathematically
+  the same sequence of kc rank-1 updates the assembly kernel performs.
+
+Edge tiles (when mc % mr or nc % nr is nonzero) are handled through the
+zero padding introduced by packing; only the valid C sub-tile is written
+back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GemmError
+
+
+def gess(
+    a_sliver: "np.ndarray",
+    b_sliver: "np.ndarray",
+    c_tile: "np.ndarray",
+) -> None:
+    """Layer-7 micro-kernel: ``c_tile += a_sliver^T @ b_sliver``.
+
+    Args:
+        a_sliver: Packed A sliver, shape ``(kc, mr)``.
+        b_sliver: Packed B sliver, shape ``(kc, nr)``.
+        c_tile: C tile view, shape ``(mr' <= mr, nr' <= nr)`` — the valid
+            region; padded rows/columns of the slivers multiply into
+            discarded space.
+    """
+    if a_sliver.shape[0] != b_sliver.shape[0]:
+        raise GemmError(
+            f"kc mismatch: A sliver {a_sliver.shape}, B sliver {b_sliver.shape}"
+        )
+    mrv, nrv = c_tile.shape
+    c_tile += a_sliver[:, :mrv].T @ b_sliver[:, :nrv]
+
+
+def gebp(
+    packed_a: "np.ndarray",
+    packed_b: "np.ndarray",
+    c_panel: "np.ndarray",
+    mr: int,
+    nr: int,
+) -> None:
+    """Block-panel multiply: ``c_panel += A_block @ B_panel``.
+
+    Args:
+        packed_a: Output of :func:`repro.gemm.packing.pack_a`, shape
+            ``(n_a_slivers, kc, mr)``.
+        packed_b: Output of :func:`repro.gemm.packing.pack_b`, shape
+            ``(n_b_slivers, kc, nr)``.
+        c_panel: Writable view of C, shape ``(mc, nc)``.
+        mr, nr: Register tile sizes the buffers were packed with.
+    """
+    na, kc_a, mr_p = packed_a.shape
+    nb, kc_b, nr_p = packed_b.shape
+    if (mr_p, nr_p) != (mr, nr):
+        raise GemmError("packed buffers do not match the register tile")
+    if kc_a != kc_b:
+        raise GemmError("packed buffers disagree on kc")
+    mc, nc = c_panel.shape
+    if na != -(-mc // mr) or nb != -(-nc // nr):
+        raise GemmError("packed buffers do not cover the C panel")
+
+    # Layer 5: loop over B slivers (j), layer 6: over A slivers (i).
+    for j in range(nb):
+        jlo, jhi = j * nr, min((j + 1) * nr, nc)
+        b_sliver = packed_b[j]
+        for i in range(na):
+            ilo, ihi = i * mr, min((i + 1) * mr, mc)
+            gess(packed_a[i], b_sliver, c_panel[ilo:ihi, jlo:jhi])

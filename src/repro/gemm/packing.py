@@ -1,0 +1,109 @@
+"""Packing of A blocks and B panels (paper Sec. II-C, Fig. 3).
+
+OpenBLAS packs operands into contiguous buffers so the register kernel
+streams them with unit stride:
+
+- ``pack_a`` extracts an ``mc x kc`` block of A as a sequence of
+  ``mr x kc`` *slivers*; within a sliver, each k-column's mr elements are
+  contiguous (the kernel's ``ldr q, [x14], #16`` order). Partial slivers at
+  the bottom edge are zero-padded to mr rows.
+- ``pack_b`` extracts a ``kc x nc`` panel of B as a sequence of
+  ``kc x nr`` slivers; within a sliver, each k-row's nr elements are
+  contiguous (the ``x15`` stream). Partial slivers are zero-padded to nr
+  columns.
+
+Both return 3-D arrays indexed ``[sliver, k, within-sliver]`` whose memory
+layout is exactly the packed buffer (C-contiguous), so flattening them
+yields the byte stream the simulated kernel would read.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GemmError
+
+
+def _as_2d_float(name: str, m: "np.ndarray", dtype=np.float64) -> np.ndarray:
+    arr = np.asarray(m, dtype=dtype)
+    if arr.ndim != 2:
+        raise GemmError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def num_slivers(extent: int, r: int) -> int:
+    """Number of r-wide slivers covering ``extent`` rows/columns."""
+    if extent < 0 or r <= 0:
+        raise GemmError("extent must be >= 0 and sliver width positive")
+    return -(-extent // r)
+
+
+def pack_a(a_block: "np.ndarray", mr: int, dtype=np.float64) -> np.ndarray:
+    """Pack an ``mc x kc`` block of A into mr-row slivers.
+
+    Returns:
+        Array of shape ``(ceil(mc/mr), kc, mr)``: ``out[s, k, i]`` is
+        ``A[s*mr + i, k]`` (zero where padded).
+    """
+    a_block = _as_2d_float("A block", a_block, dtype)
+    mc, kc = a_block.shape
+    if mr <= 0:
+        raise GemmError("mr must be positive")
+    ns = num_slivers(mc, mr)
+    out = np.zeros((ns, kc, mr), dtype=dtype)
+    for s in range(ns):
+        lo, hi = s * mr, min((s + 1) * mr, mc)
+        # out[s, k, i] = A[lo+i, k] -> transpose of the block rows.
+        out[s, :, : hi - lo] = a_block[lo:hi, :].T
+    return out
+
+
+def pack_b(b_panel: "np.ndarray", nr: int, dtype=np.float64) -> np.ndarray:
+    """Pack a ``kc x nc`` panel of B into nr-column slivers.
+
+    Returns:
+        Array of shape ``(ceil(nc/nr), kc, nr)``: ``out[s, k, j]`` is
+        ``B[k, s*nr + j]`` (zero where padded).
+    """
+    b_panel = _as_2d_float("B panel", b_panel, dtype)
+    kc, nc = b_panel.shape
+    if nr <= 0:
+        raise GemmError("nr must be positive")
+    ns = num_slivers(nc, nr)
+    out = np.zeros((ns, kc, nr), dtype=dtype)
+    for s in range(ns):
+        lo, hi = s * nr, min((s + 1) * nr, nc)
+        out[s, :, : hi - lo] = b_panel[:, lo:hi]
+    return out
+
+
+def packed_a_bytes(mc: int, kc: int, mr: int, element_size: int = 8) -> int:
+    """Size of the packed A buffer in bytes (padding included)."""
+    return num_slivers(mc, mr) * kc * mr * element_size
+
+
+def packed_b_bytes(kc: int, nc: int, nr: int, element_size: int = 8) -> int:
+    """Size of the packed B buffer in bytes (padding included)."""
+    return num_slivers(nc, nr) * kc * nr * element_size
+
+
+def unpack_a(packed: "np.ndarray", mc: int) -> np.ndarray:
+    """Inverse of :func:`pack_a` (drops padding); for testing."""
+    ns, kc, mr = packed.shape
+    out = np.zeros((mc, kc), dtype=np.float64)
+    for s in range(ns):
+        lo, hi = s * mr, min((s + 1) * mr, mc)
+        out[lo:hi, :] = packed[s, :, : hi - lo].T
+    return out
+
+
+def unpack_b(packed: "np.ndarray", nc: int) -> np.ndarray:
+    """Inverse of :func:`pack_b` (drops padding); for testing."""
+    ns, kc, nr = packed.shape
+    out = np.zeros((kc, nc), dtype=np.float64)
+    for s in range(ns):
+        lo, hi = s * nr, min((s + 1) * nr, nc)
+        out[:, lo:hi] = packed[s, :, : hi - lo]
+    return out

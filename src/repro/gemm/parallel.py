@@ -1,0 +1,231 @@
+"""Multi-threaded DGEMM — layer-3 parallelization (paper Sec. IV-C, Fig. 9).
+
+The paper parallelizes the third loop: every thread receives a different
+``mc x kc`` block of A while all threads share the same packed ``kc x nc``
+panel of B, which maximizes locality in the shared L3 (where the B panel
+lives). The M dimension is therefore divided round-robin in mc-sized chunks
+across threads.
+
+Threads here are *simulated workers*: partitions execute sequentially (the
+numerical result is identical and deterministic), while the per-thread work
+split is recorded in the trace so the performance simulator can cost each
+core's share and apply the shared-cache and bandwidth effects. A real
+``threading``-based execution mode is available for wall-clock use, since
+numpy releases the GIL inside the micro-kernel products.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.params import ChipParams
+from repro.arch.presets import XGENE
+from repro.blocking.cache_blocking import CacheBlocking, solve_cache_blocking
+from repro.errors import GemmError
+from repro.gemm.driver import _validate_operands
+from repro.gemm.gebp import gebp
+from repro.gemm.packing import pack_a, pack_b
+from repro.gemm.trace import GemmTrace
+
+
+def _thread_row_blocks(m: int, mc: int, threads: int) -> List[List[int]]:
+    """Round-robin assignment of mc-sized row blocks to threads."""
+    blocks = list(range(0, m, mc))
+    return [blocks[t::threads] for t in range(threads)]
+
+
+def parallel_dgemm(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c: "np.ndarray",
+    threads: int,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    blocking: Optional[CacheBlocking] = None,
+    chip: ChipParams = XGENE,
+    trace: Optional[GemmTrace] = None,
+    use_os_threads: bool = False,
+    axis: str = "m",
+) -> "np.ndarray":
+    """Layer-3-parallel DGEMM: ``C := alpha * A @ B + beta * C``.
+
+    Args:
+        a, b, c: Column-major float64 operands (``M x K``, ``K x N``,
+            ``M x N``).
+        threads: Number of workers (1..chip.cores).
+        alpha, beta: BLAS scalars.
+        blocking: Block sizes; derived for ``threads`` on ``chip`` when
+            omitted (the paper's eq. (19)/(20) adjustment).
+        chip: Architecture used for blocking derivation and trace metadata.
+        trace: Optional structural trace collector.
+        use_os_threads: Execute partitions on real OS threads (identical
+            numerics; useful only for wall-clock timing).
+        axis: ``"m"`` parallelizes the third loop over A blocks (the
+            paper's Fig. 9 choice — one shared B panel in the L3);
+            ``"n"`` parallelizes the first loop over column panels (the
+            ablation: every thread owns a private B panel, overflowing
+            the shared L3).
+
+    Returns:
+        The updated C.
+    """
+    if axis not in ("m", "n"):
+        raise GemmError("axis must be 'm' (layer 3) or 'n' (layer 1)")
+    if axis == "n":
+        return _parallel_dgemm_axis_n(
+            a, b, c, threads, alpha, beta, blocking, chip, trace
+        )
+    if not 1 <= threads <= chip.cores:
+        raise GemmError(f"threads {threads} out of range 1..{chip.cores}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c_arr = np.asarray(c)
+    if c_arr.dtype != np.float64 or not c_arr.flags.writeable:
+        c_arr = np.array(c_arr, dtype=np.float64)
+    _validate_operands(a, b, c_arr)
+    blk = blocking or solve_cache_blocking(
+        chip, 8, 6, threads=threads
+    )
+    m, k = a.shape
+    _, n = b.shape
+    if trace is not None:
+        trace.m, trace.n, trace.k, trace.threads = m, n, k, threads
+
+    if alpha == 0.0 or k == 0:
+        if beta == 0.0:
+            c_arr[:] = 0.0
+        else:
+            c_arr *= beta
+        return c_arr
+
+    assignments = _thread_row_blocks(m, blk.mc, threads)
+
+    for jj in range(0, n, blk.nc):
+        ncur = min(blk.nc, n - jj)
+        first_k = True
+        for kk in range(0, k, blk.kc):
+            kcur = min(blk.kc, k - kk)
+            if first_k and beta != 1.0:
+                if beta == 0.0:
+                    c_arr[:, jj : jj + ncur] = 0.0
+                else:
+                    c_arr[:, jj : jj + ncur] *= beta
+            b_panel = b[kk : kk + kcur, jj : jj + ncur]
+            packed_b = pack_b(
+                b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
+            )
+            if trace is not None:
+                # B is packed cooperatively; attribute to thread 0.
+                trace.record_pack("B", kcur, ncur, thread=0)
+
+            def work(t: int) -> None:
+                for ii in assignments[t]:
+                    mcur = min(blk.mc, m - ii)
+                    packed_a = pack_a(
+                        a[ii : ii + mcur, kk : kk + kcur], blk.mr
+                    )
+                    if trace is not None:
+                        trace.record_pack("A", mcur, kcur, thread=t)
+                        trace.record_gebp(
+                            mcur, kcur, ncur, thread=t, beta_pass=first_k
+                        )
+                    gebp(
+                        packed_a,
+                        packed_b,
+                        c_arr[ii : ii + mcur, jj : jj + ncur],
+                        blk.mr,
+                        blk.nr,
+                    )
+
+            if use_os_threads and threads > 1:
+                workers = [
+                    threading.Thread(target=work, args=(t,))
+                    for t in range(threads)
+                ]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+            else:
+                for t in range(threads):
+                    work(t)
+            first_k = False
+    return c_arr
+
+
+def _parallel_dgemm_axis_n(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c: "np.ndarray",
+    threads: int,
+    alpha: float,
+    beta: float,
+    blocking: Optional[CacheBlocking],
+    chip: ChipParams,
+    trace: Optional[GemmTrace],
+) -> "np.ndarray":
+    """Layer-1 parallelization (the Fig. 9 ablation): column panels are
+    distributed round-robin across threads, each thread packing its own
+    B panel and walking all of A. Numerically identical; the locality
+    difference shows up only on the simulated chip."""
+    if not 1 <= threads <= chip.cores:
+        raise GemmError(f"threads {threads} out of range 1..{chip.cores}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c_arr = np.asarray(c)
+    if c_arr.dtype != np.float64 or not c_arr.flags.writeable:
+        c_arr = np.array(c_arr, dtype=np.float64)
+    _validate_operands(a, b, c_arr)
+    blk = blocking or solve_cache_blocking(chip, 8, 6, threads=threads)
+    m, k = a.shape
+    _, n = b.shape
+    if trace is not None:
+        trace.m, trace.n, trace.k, trace.threads = m, n, k, threads
+
+    if alpha == 0.0 or k == 0:
+        if beta == 0.0:
+            c_arr[:] = 0.0
+        else:
+            c_arr *= beta
+        return c_arr
+
+    col_blocks = list(range(0, n, blk.nc))
+    for t in range(threads):
+        for jj in col_blocks[t::threads]:
+            ncur = min(blk.nc, n - jj)
+            first_k = True
+            for kk in range(0, k, blk.kc):
+                kcur = min(blk.kc, k - kk)
+                if first_k and beta != 1.0:
+                    if beta == 0.0:
+                        c_arr[:, jj : jj + ncur] = 0.0
+                    else:
+                        c_arr[:, jj : jj + ncur] *= beta
+                b_panel = b[kk : kk + kcur, jj : jj + ncur]
+                packed_b = pack_b(
+                    b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
+                )
+                if trace is not None:
+                    trace.record_pack("B", kcur, ncur, thread=t)
+                for ii in range(0, m, blk.mc):
+                    mcur = min(blk.mc, m - ii)
+                    packed_a = pack_a(
+                        a[ii : ii + mcur, kk : kk + kcur], blk.mr
+                    )
+                    if trace is not None:
+                        trace.record_pack("A", mcur, kcur, thread=t)
+                        trace.record_gebp(
+                            mcur, kcur, ncur, thread=t, beta_pass=first_k
+                        )
+                    gebp(
+                        packed_a,
+                        packed_b,
+                        c_arr[ii : ii + mcur, jj : jj + ncur],
+                        blk.mr,
+                        blk.nr,
+                    )
+                first_k = False
+    return c_arr

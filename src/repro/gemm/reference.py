@@ -1,0 +1,51 @@
+"""Reference GEMM implementations for validation.
+
+``naive_dgemm`` is the textbook triple loop (netlib-style, Sec. II-B's
+"reference implementation ... performs poorly"); ``numpy_dgemm`` delegates
+to ``numpy``'s BLAS. Both exist to validate the blocked implementation and
+to serve as the unoptimized baseline in examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GemmError
+
+
+def naive_dgemm(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c: "np.ndarray",
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> "np.ndarray":
+    """Triple-loop ``C := alpha*A@B + beta*C`` (for small test matrices)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    out = np.array(c, dtype=np.float64)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or out.shape != (m, n):
+        raise GemmError("shape mismatch")
+    for j in range(n):
+        for i in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            out[i, j] = alpha * acc + beta * out[i, j]
+    return out
+
+
+def numpy_dgemm(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c: "np.ndarray",
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> "np.ndarray":
+    """``numpy``-backed reference."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    return alpha * (a @ b) + beta * c

@@ -1,0 +1,82 @@
+"""Execution-trace instrumentation for the GEMM driver.
+
+The driver optionally records every structural event of the Goto loop nest
+(B-panel packs, A-block packs, GEBP calls with their true edge-trimmed
+sizes, micro-kernel invocations). The simulator consumes this trace to cost
+exactly the work the functional implementation performed — including the
+ragged boundary tiles that shape the small-size ramp of Figs. 11/12/14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PackEvent:
+    """One packing operation.
+
+    Attributes:
+        operand: ``"A"`` or ``"B"``.
+        rows, cols: Shape of the packed sub-matrix (pre-padding).
+        thread: Executing thread id.
+    """
+
+    operand: str
+    rows: int
+    cols: int
+    thread: int = 0
+
+
+@dataclass(frozen=True)
+class GebpEvent:
+    """One GEBP call: an (mc x kc) block times a (kc x nc) panel.
+
+    Sizes are the actual, possibly edge-trimmed extents.
+    """
+
+    mc: int
+    kc: int
+    nc: int
+    thread: int = 0
+    beta_pass: bool = False
+
+
+@dataclass
+class GemmTrace:
+    """Accumulated events of one DGEMM execution."""
+
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    threads: int = 1
+    packs: List[PackEvent] = field(default_factory=list)
+    gebps: List[GebpEvent] = field(default_factory=list)
+
+    def record_pack(self, operand: str, rows: int, cols: int, thread: int = 0) -> None:
+        self.packs.append(PackEvent(operand, rows, cols, thread))
+
+    def record_gebp(
+        self, mc: int, kc: int, nc: int, thread: int = 0, beta_pass: bool = False
+    ) -> None:
+        self.gebps.append(GebpEvent(mc, kc, nc, thread, beta_pass))
+
+    @property
+    def flops(self) -> int:
+        """Useful flops implied by the GEBP events (2*m*k*n each)."""
+        return sum(2 * e.mc * e.kc * e.nc for e in self.gebps)
+
+    @property
+    def packed_a_elements(self) -> int:
+        return sum(p.rows * p.cols for p in self.packs if p.operand == "A")
+
+    @property
+    def packed_b_elements(self) -> int:
+        return sum(p.rows * p.cols for p in self.packs if p.operand == "B")
+
+    def events_for_thread(self, thread: int) -> Tuple[List[PackEvent], List[GebpEvent]]:
+        return (
+            [p for p in self.packs if p.thread == thread],
+            [g for g in self.gebps if g.thread == thread],
+        )

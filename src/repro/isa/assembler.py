@@ -1,0 +1,143 @@
+"""Two-way textual assembler for the modeled A64 subset.
+
+``parse_line`` turns one line of assembly text (in the syntax of the paper's
+Fig. 8 snippet) into an :class:`~repro.isa.instructions.Instruction`;
+``format_program`` renders instruction sequences back to text. Comments
+introduced by ``//`` are stripped.
+
+This keeps generated kernels inspectable — tests round-trip every generated
+kernel through text and back.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    Faddp,
+    Fmla,
+    FmlaVec,
+    Instruction,
+    Ldr,
+    Nop,
+    PrefetchTarget,
+    Prfm,
+    Str,
+)
+from repro.isa.registers import VLane, VReg, parse_vreg, parse_xreg
+
+_LDR_STR_RE = re.compile(
+    r"^(ldr|str)\s+([qv]\d+)\s*,\s*\[\s*(x\d+)\s*\]\s*,\s*#\s*(-?\d+)$"
+)
+_FMLA_RE = re.compile(
+    r"^fmla\s+v(\d+)\.2d\s*,\s*v(\d+)\.2d\s*,\s*v(\d+)\.d\[(\d)\]$"
+)
+_FMLA_VEC_RE = re.compile(
+    r"^fmla\s+v(\d+)\.2d\s*,\s*v(\d+)\.2d\s*,\s*v(\d+)\.2d$"
+)
+_FADDP_RE = re.compile(
+    r"^faddp\s+v(\d+)\.2d\s*,\s*v(\d+)\.2d\s*,\s*v(\d+)\.2d$"
+)
+_PRFM_RE = re.compile(
+    r"^prfm\s+(PLDL[123]KEEP)\s*,\s*\[\s*(x\d+)\s*(?:,\s*#\s*(-?\w+)\s*)?\]$"
+)
+
+
+def strip_comment(line: str) -> str:
+    """Remove a ``//`` comment and surrounding whitespace."""
+    return line.split("//", 1)[0].strip()
+
+
+def parse_line(line: str) -> Optional[Instruction]:
+    """Parse one assembly line; returns ``None`` for blank/comment lines.
+
+    Raises:
+        AssemblyError: if the line is not in the modeled subset.
+    """
+    text = strip_comment(line)
+    if not text:
+        return None
+    if text == "nop":
+        return Nop()
+
+    m = _LDR_STR_RE.match(text)
+    if m:
+        op, reg, base, imm = m.groups()
+        vreg = parse_vreg(reg)
+        xreg = parse_xreg(base)
+        if op == "ldr":
+            return Ldr(dst=vreg, base=xreg, post_increment=int(imm))
+        return Str(src=vreg, base=xreg, post_increment=int(imm))
+
+    m = _FMLA_RE.match(text)
+    if m:
+        acc, mulc, mulr, lane = (int(g) for g in m.groups())
+        return Fmla(
+            acc=VReg(acc),
+            multiplicand=VReg(mulc),
+            multiplier=VLane(VReg(mulr), lane),
+        )
+
+    m = _FMLA_VEC_RE.match(text)
+    if m:
+        acc, mulc, mulr = (int(g) for g in m.groups())
+        return FmlaVec(
+            acc=VReg(acc), multiplicand=VReg(mulc), multiplier=VReg(mulr)
+        )
+
+    m = _FADDP_RE.match(text)
+    if m:
+        dst, first, second = (int(g) for g in m.groups())
+        return Faddp(dst=VReg(dst), first=VReg(first), second=VReg(second))
+
+    m = _PRFM_RE.match(text)
+    if m:
+        prfop, base, offset = m.groups()
+        off = 0 if offset is None else _parse_offset(offset)
+        return Prfm(
+            target=PrefetchTarget(prfop), base=parse_xreg(base), offset=off
+        )
+
+    raise AssemblyError(f"cannot parse instruction: {line!r}")
+
+
+def _parse_offset(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad prefetch offset: {text!r}") from exc
+
+
+def parse_program(source: str) -> List[Instruction]:
+    """Parse a multi-line assembly listing into an instruction list."""
+    out: List[Instruction] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        try:
+            instr = parse_line(raw)
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+        if instr is not None:
+            out.append(instr)
+    return out
+
+
+def format_program(
+    instructions: Iterable[Instruction],
+    comments: Optional[Sequence[str]] = None,
+) -> str:
+    """Render instructions as assembly text, one per line.
+
+    Args:
+        instructions: The instruction sequence.
+        comments: Optional per-instruction trailing comments.
+    """
+    instrs = list(instructions)
+    lines: List[str] = []
+    for i, instr in enumerate(instrs):
+        line = f"    {instr}"
+        if comments is not None and i < len(comments) and comments[i]:
+            line = f"{line:<48}// {comments[i]}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Functional executor for the modeled A64 subset.
+
+Interprets generated kernel programs against an architectural machine
+state — 32 two-lane float64 vector registers, pointer registers, and a
+region-based memory — so the *semantics* of the emitted assembly can be
+validated, not just its instruction counts: executing the 8x6 kernel body
+over a packed A sliver and B sliver must accumulate exactly
+``C += A_sliver @ B_sliver`` into the C-tile registers
+(``tests/test_isa_executor.py``).
+
+The executor is intentionally strict: loads from unmapped addresses and
+writes outside a mapped region raise, catching address-bookkeeping bugs
+in the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.instructions import (
+    Faddp,
+    Fmla,
+    FmlaVec,
+    Instruction,
+    Ldr,
+    Mnemonic,
+    Prfm,
+    Str,
+)
+from repro.isa.program import Program
+from repro.isa.registers import (
+    DOUBLE_BYTES,
+    LANES_PER_VECTOR,
+    NUM_VECTOR_REGS,
+    VReg,
+    XReg,
+)
+
+
+class Memory:
+    """Region-based float64 memory.
+
+    Regions are numpy arrays mapped at byte base addresses; accesses must
+    be 8-byte aligned and fall entirely inside one region.
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[Tuple[int, np.ndarray]] = []
+
+    def map_region(self, base: int, values: "np.ndarray") -> None:
+        """Map a 1-D float64 array at byte address ``base``."""
+        arr = np.ascontiguousarray(values, dtype=np.float64).ravel()
+        end = base + arr.nbytes
+        for rbase, rarr in self._regions:
+            rend = rbase + rarr.nbytes
+            if base < rend and rbase < end:
+                raise SimulationError(
+                    f"region [{base:#x}, {end:#x}) overlaps existing "
+                    f"[{rbase:#x}, {rend:#x})"
+                )
+        self._regions.append((base, arr))
+
+    def region_at(self, base: int) -> "np.ndarray":
+        """The array mapped at exactly ``base`` (for result readback)."""
+        for rbase, rarr in self._regions:
+            if rbase == base:
+                return rarr
+        raise SimulationError(f"no region mapped at {base:#x}")
+
+    def _locate(self, address: int, count: int) -> Tuple["np.ndarray", int]:
+        if address % DOUBLE_BYTES:
+            raise SimulationError(f"unaligned access at {address:#x}")
+        for rbase, rarr in self._regions:
+            if rbase <= address and address + count * DOUBLE_BYTES <= (
+                rbase + rarr.nbytes
+            ):
+                return rarr, (address - rbase) // DOUBLE_BYTES
+        raise SimulationError(
+            f"access to unmapped address {address:#x} (x{count} doubles)"
+        )
+
+    def read(self, address: int, count: int) -> "np.ndarray":
+        arr, idx = self._locate(address, count)
+        return arr[idx : idx + count].copy()
+
+    def write(self, address: int, values: "np.ndarray") -> None:
+        arr, idx = self._locate(address, len(values))
+        arr[idx : idx + len(values)] = values
+
+
+@dataclass
+class MachineState:
+    """Architectural state: vector registers and pointer registers."""
+
+    vregs: "np.ndarray" = field(
+        default_factory=lambda: np.zeros(
+            (NUM_VECTOR_REGS, LANES_PER_VECTOR), dtype=np.float64
+        )
+    )
+    xregs: Dict[int, int] = field(default_factory=dict)
+
+    def set_pointer(self, reg: XReg, address: int) -> None:
+        self.xregs[reg.index] = address
+
+    def pointer(self, reg: XReg) -> int:
+        try:
+            return self.xregs[reg.index]
+        except KeyError:
+            raise SimulationError(
+                f"pointer register {reg} used before initialization"
+            ) from None
+
+    def v(self, reg: VReg) -> "np.ndarray":
+        return self.vregs[reg.index]
+
+
+class Executor:
+    """Interprets programs against a :class:`MachineState` and
+    :class:`Memory`."""
+
+    def __init__(self, state: MachineState, memory: Memory) -> None:
+        self.state = state
+        self.memory = memory
+        self.instructions_executed = 0
+
+    def execute(self, instruction: Instruction) -> None:
+        """Execute one instruction, updating machine state."""
+        s = self.state
+        if isinstance(instruction, Ldr):
+            addr = s.pointer(instruction.base)
+            s.vregs[instruction.dst.index] = self.memory.read(
+                addr, LANES_PER_VECTOR
+            )
+            s.xregs[instruction.base.index] = (
+                addr + instruction.post_increment
+            )
+        elif isinstance(instruction, Str):
+            addr = s.pointer(instruction.base)
+            self.memory.write(addr, s.vregs[instruction.src.index])
+            s.xregs[instruction.base.index] = (
+                addr + instruction.post_increment
+            )
+        elif isinstance(instruction, Fmla):
+            scalar = s.vregs[instruction.multiplier.reg.index][
+                instruction.multiplier.index
+            ]
+            s.vregs[instruction.acc.index] += (
+                s.vregs[instruction.multiplicand.index] * scalar
+            )
+        elif isinstance(instruction, FmlaVec):
+            s.vregs[instruction.acc.index] += (
+                s.vregs[instruction.multiplicand.index]
+                * s.vregs[instruction.multiplier.index]
+            )
+        elif isinstance(instruction, Faddp):
+            first = s.vregs[instruction.first.index].sum()
+            second = s.vregs[instruction.second.index].sum()
+            s.vregs[instruction.dst.index][0] = first
+            s.vregs[instruction.dst.index][1] = second
+        elif isinstance(instruction, Prfm):
+            pass  # prefetches have no architectural effect
+        elif instruction.mnemonic is Mnemonic.NOP:
+            pass
+        else:  # pragma: no cover - the subset is closed
+            raise SimulationError(f"cannot execute {instruction}")
+        self.instructions_executed += 1
+
+    def run(self, program: Program, times: int = 1) -> None:
+        """Execute ``program`` ``times`` times back to back."""
+        if times < 0:
+            raise SimulationError("times must be non-negative")
+        for _ in range(times):
+            for instr in program:
+                self.execute(instr)

@@ -1,0 +1,299 @@
+"""A64 instruction subset used by the DGEMM register kernel.
+
+The paper's kernel (Fig. 8) uses exactly four instruction kinds:
+
+- ``ldr qN, [xM], #16`` — 128-bit load with post-index pointer update,
+  fetching the next two packed float64 values of A or B;
+- ``str qN, [xM], #16`` — 128-bit store (writing back a C tile);
+- ``fmla vd.2d, vn.2d, vm.d[i]`` — NEON fused multiply-add by element:
+  ``vd += vn * vm[i]`` on two float64 lanes (4 FLOPs);
+- ``prfm PLDL1KEEP/[PLDL2KEEP], [xM, #off]`` — software prefetch into the
+  L1 or L2 cache.
+
+Each instruction reports the registers it reads and writes, which drives the
+dependence analysis in :mod:`repro.pipeline` and the distance objectives of
+the rotation/scheduling optimizers in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.errors import AssemblyError
+from repro.isa.registers import VLane, VReg, XReg
+
+Reg = Union[VReg, XReg]
+
+
+class PrefetchTarget(enum.Enum):
+    """Prefetch operation kinds (A64 ``prfm`` <prfop> field)."""
+
+    PLDL1KEEP = "PLDL1KEEP"
+    PLDL2KEEP = "PLDL2KEEP"
+    PLDL3KEEP = "PLDL3KEEP"
+
+    @property
+    def level(self) -> int:
+        """Target cache level (1-based)."""
+        return int(self.value[4])
+
+
+class Mnemonic(enum.Enum):
+    """Instruction kinds in the modeled subset."""
+
+    LDR = "ldr"
+    STR = "str"
+    FMLA = "fmla"
+    FADDP = "faddp"
+    PRFM = "prfm"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class: every instruction knows its reads, writes and text form."""
+
+    def reads(self) -> FrozenSet[Reg]:
+        """Registers whose values this instruction consumes."""
+        raise NotImplementedError
+
+    def writes(self) -> FrozenSet[Reg]:
+        """Registers this instruction defines."""
+        raise NotImplementedError
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        raise NotImplementedError
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic is Mnemonic.LDR
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic is Mnemonic.STR
+
+    @property
+    def is_fma(self) -> bool:
+        return self.mnemonic is Mnemonic.FMLA
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.mnemonic is Mnemonic.PRFM
+
+    @property
+    def flops(self) -> int:
+        """FLOPs performed (two float64 lanes x mul+add for FMLA, else 0)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class Ldr(Instruction):
+    """``ldr qN, [xM], #imm`` — post-indexed 128-bit load.
+
+    Attributes:
+        dst: Destination vector register.
+        base: Base address register (updated by ``post_increment``).
+        post_increment: Bytes added to ``base`` after the access.
+        tag: Optional label of the buffer being read ("A", "B", "C").
+    """
+
+    dst: VReg
+    base: XReg
+    post_increment: int = 16
+    tag: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.LDR
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.base})
+
+    def writes(self) -> FrozenSet[Reg]:
+        # The post-index form also writes back the base register.
+        return frozenset({self.dst, self.base})
+
+    def __str__(self) -> str:
+        return f"ldr {self.dst.q_name}, [{self.base}], #{self.post_increment}"
+
+
+@dataclass(frozen=True)
+class Str(Instruction):
+    """``str qN, [xM], #imm`` — post-indexed 128-bit store."""
+
+    src: VReg
+    base: XReg
+    post_increment: int = 16
+    tag: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.STR
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.src, self.base})
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset({self.base})
+
+    def __str__(self) -> str:
+        return f"str {self.src.q_name}, [{self.base}], #{self.post_increment}"
+
+
+@dataclass(frozen=True)
+class Fmla(Instruction):
+    """``fmla vd.2d, vn.2d, vm.d[i]`` — vector FMA by element.
+
+    Computes ``vd[lane] += vn[lane] * vm.d[element]`` for both float64
+    lanes: 2 multiplies + 2 adds = 4 FLOPs.
+    """
+
+    acc: VReg
+    multiplicand: VReg
+    multiplier: VLane
+
+    def __post_init__(self) -> None:
+        if self.acc == self.multiplicand or self.acc == self.multiplier.reg:
+            raise AssemblyError(
+                "fmla accumulator must differ from both source registers: "
+                f"{self}"
+            )
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.FMLA
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.acc, self.multiplicand, self.multiplier.reg})
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset({self.acc})
+
+    @property
+    def flops(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return (
+            f"fmla {self.acc.as_2d()}, {self.multiplicand.as_2d()}, "
+            f"{self.multiplier}"
+        )
+
+
+@dataclass(frozen=True)
+class FmlaVec(Instruction):
+    """``fmla vd.2d, vn.2d, vm.2d`` — full-vector FMA.
+
+    Computes ``vd[lane] += vn[lane] * vm[lane]`` on both float64 lanes
+    (4 FLOPs). This is the form a k-vectorized kernel uses: the two lanes
+    hold two consecutive k-iterations' partial products.
+    """
+
+    acc: VReg
+    multiplicand: VReg
+    multiplier: VReg
+
+    def __post_init__(self) -> None:
+        if self.acc in (self.multiplicand, self.multiplier):
+            raise AssemblyError(
+                f"fmla accumulator must differ from sources: {self}"
+            )
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.FMLA
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.acc, self.multiplicand, self.multiplier})
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset({self.acc})
+
+    @property
+    def flops(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return (
+            f"fmla {self.acc.as_2d()}, {self.multiplicand.as_2d()}, "
+            f"{self.multiplier.as_2d()}"
+        )
+
+
+@dataclass(frozen=True)
+class Faddp(Instruction):
+    """``faddp vd.2d, vn.2d, vm.2d`` — pairwise add.
+
+    ``vd = [vn[0]+vn[1], vm[0]+vm[1]]``: reduces two registers of
+    two-lane partial sums into one register of totals (2 FLOPs). Used by
+    the k-vectorized kernel's epilogue to fold its partial sums before
+    storing C.
+    """
+
+    dst: VReg
+    first: VReg
+    second: VReg
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.FADDP
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.first, self.second})
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset({self.dst})
+
+    @property
+    def flops(self) -> int:
+        return 2
+
+    def __str__(self) -> str:
+        return (
+            f"faddp {self.dst.as_2d()}, {self.first.as_2d()}, "
+            f"{self.second.as_2d()}"
+        )
+
+
+@dataclass(frozen=True)
+class Prfm(Instruction):
+    """``prfm <prfop>, [xM, #offset]`` — software prefetch."""
+
+    target: PrefetchTarget
+    base: XReg
+    offset: int = 0
+    tag: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.PRFM
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset({self.base})
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"prfm {self.target.value}, [{self.base}, #{self.offset}]"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """``nop`` — placeholder used by schedulers for padding experiments."""
+
+    @property
+    def mnemonic(self) -> Mnemonic:
+        return Mnemonic.NOP
+
+    def reads(self) -> FrozenSet[Reg]:
+        return frozenset()
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "nop"

@@ -1,0 +1,101 @@
+"""Kernel program container with summary statistics.
+
+A :class:`Program` wraps an instruction sequence and exposes the aggregate
+measures the paper reasons about: FMLA count, load count, the LDR:FMLA ratio
+(Table IV), the arithmetic-instruction percentage (Sec. V-A), and FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.isa.assembler import format_program
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An ordered instruction sequence with a name.
+
+    Attributes:
+        name: Human-readable kernel name (e.g. ``"gebp-8x6"``).
+        instructions: The instruction list, in issue order.
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Sequence[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    @property
+    def num_fmla(self) -> int:
+        """Number of FMLA instructions."""
+        return sum(1 for i in self if i.is_fma)
+
+    @property
+    def num_loads(self) -> int:
+        """Number of LDR instructions."""
+        return sum(1 for i in self if i.is_load)
+
+    @property
+    def num_stores(self) -> int:
+        return sum(1 for i in self if i.is_store)
+
+    @property
+    def num_prefetches(self) -> int:
+        return sum(1 for i in self if i.is_prefetch)
+
+    @property
+    def flops(self) -> int:
+        """Total FLOPs performed by one pass over the program."""
+        return sum(i.flops for i in self)
+
+    @property
+    def ldr_fmla_ratio(self) -> Tuple[int, int]:
+        """The LDR:FMLA ratio in lowest terms, as used in Table IV.
+
+        Returns:
+            ``(loads, fmlas)`` reduced by their gcd; ``(0, 0)`` if the
+            program has neither.
+        """
+        loads, fmlas = self.num_loads, self.num_fmla
+        if loads == 0 and fmlas == 0:
+            return (0, 0)
+        if loads == 0:
+            return (0, 1)
+        if fmlas == 0:
+            return (1, 0)
+        frac = Fraction(loads, fmlas)
+        return (frac.numerator, frac.denominator)
+
+    @property
+    def arithmetic_fraction(self) -> float:
+        """Fraction of FMLA instructions over FMLA + memory instructions.
+
+        This is the paper's ``(mr*nr/2) / (mr*nr/2 + (mr+nr)/2)`` measure
+        (Sec. V-A), computed from the actual instruction stream.
+        """
+        mem = self.num_loads + self.num_stores
+        total = self.num_fmla + mem
+        if total == 0:
+            return 0.0
+        return self.num_fmla / total
+
+    def to_text(self) -> str:
+        """Render the program as assembly text."""
+        return format_program(self.instructions)

@@ -1,0 +1,206 @@
+"""The ATLAS-style k-vectorized 5x5 register kernel, as real instructions.
+
+ATLAS's comparison kernel ([11] in the paper) uses an odd 5x5 tile, which
+cannot use by-element NEON FMLAs without wasting lanes. The viable
+vectorization is along **k**: each 128-bit register holds two consecutive
+k-iterations, every C element keeps a two-lane partial sum, and a
+``faddp`` epilogue folds the partial sums before storing C.
+
+Register budget on A64 (32 v-registers):
+
+- 25 pinned partial-sum registers (``v7``-``v31``) — one per C element;
+- a 7-register pool (``v0``-``v6``): the 5 A values of the current group
+  are pinned for the whole group (each is read in all 5 column bursts),
+  leaving only **2** registers to double-buffer the B stream.
+
+Consequences, visible on the scoreboard: B values can be preloaded one
+burst ahead (fine), but the next group's A values can only be loaded
+*after* the current group's last burst — five loads crammed into the
+group boundary with short load-to-use distances. That is the structural
+penalty the cost model charges ATLAS for
+(``KernelSpec.preload_window_limited``), derived here from an actual
+instruction sequence.
+
+The kernel is fully functional: :func:`execute_atlas_micro_tile` runs it
+through the ISA executor and must reproduce ``C += A^T @ B`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.executor import Executor, MachineState, Memory
+from repro.isa.instructions import Faddp, FmlaVec, Ldr, Str
+from repro.isa.program import Program
+from repro.isa.registers import DOUBLE_BYTES, VReg, XReg
+
+MR = 5
+NR = 5
+#: k-iterations per update group (two lanes of partial sums).
+K_GROUP = 2
+
+A_POINTER = XReg(14)
+B_POINTER = XReg(15)
+C_POINTER = XReg(16)
+
+#: Pool: A values pinned in v0..v4 for the group, B double-buffered in
+#: v5/v6. C partial sums in v7..v31 (column-major: c[i][j] = v(7+5j+i)).
+A_REGS = [VReg(i) for i in range(5)]
+B_REGS = [VReg(5), VReg(6)]
+
+
+def c_reg(i: int, j: int) -> VReg:
+    """Partial-sum register of C element (i, j)."""
+    return VReg(7 + 5 * j + i)
+
+
+@dataclass(frozen=True)
+class AtlasKernel:
+    """The generated k-vectorized kernel.
+
+    Attributes:
+        body: One group's instructions (25 fmla + 10 ldr), steady state.
+        epilogue: faddp reduction + C stores (tile padded to 6 rows).
+        groups_per_body: k-iterations advanced per body pass (2).
+    """
+
+    body: Program
+    epilogue: Program
+    groups_per_body: int = K_GROUP
+
+
+def build_atlas_kernel() -> AtlasKernel:
+    """Emit the steady-state group body and the reduction epilogue."""
+    body = Program(name="atlas-5x5-kvec-body")
+    # Five column bursts; B double-buffers through v5/v6; the burst for
+    # column j uses B_REGS[j % 2] and preloads column j+1 into the other.
+    for j in range(NR):
+        if j < NR - 1:
+            body.append(
+                Ldr(dst=B_REGS[(j + 1) % 2], base=B_POINTER, tag="B")
+            )
+        for i in range(MR):
+            body.append(
+                FmlaVec(
+                    acc=c_reg(i, j),
+                    multiplicand=A_REGS[i],
+                    multiplier=B_REGS[j % 2],
+                )
+            )
+    # Group boundary: reload all five A values for the next group (the
+    # 7-register pool leaves no room to do this earlier), then the next
+    # group's first B column.
+    for i in range(MR):
+        body.append(Ldr(dst=A_REGS[i], base=A_POINTER, tag="A"))
+    body.append(Ldr(dst=B_REGS[0], base=B_POINTER, tag="B"))
+
+    # Epilogue: fold two-lane partial sums pairwise down each column and
+    # store. Rows are processed in pairs, the 5th row paired with a
+    # zeroed scratch lane (the C tile buffer is padded to 6 rows).
+    epilogue = Program(name="atlas-5x5-kvec-epilogue")
+    zero = VReg(0)  # A regs are dead after the k-loop; reuse as scratch
+    for j in range(NR):
+        for i in range(0, MR - 1, 2):
+            epilogue.append(
+                Faddp(dst=c_reg(i, j), first=c_reg(i, j),
+                      second=c_reg(i + 1, j))
+            )
+            epilogue.append(Str(src=c_reg(i, j), base=C_POINTER, tag="C"))
+        # Row 4 pairs with the zero scratch register.
+        epilogue.append(
+            Faddp(dst=c_reg(4, j), first=c_reg(4, j), second=zero)
+        )
+        epilogue.append(Str(src=c_reg(4, j), base=C_POINTER, tag="C"))
+    return AtlasKernel(body=body, epilogue=epilogue)
+
+
+def pack_a_kvec(a_sliver: "np.ndarray") -> np.ndarray:
+    """Pack a ``(kc, 5)`` A sliver k-vectorized: ``out[g, i, :]`` holds
+    ``A[2g:2g+2, i]`` — one q-load per (group, row)."""
+    kc, mr = a_sliver.shape
+    if mr != MR or kc % K_GROUP:
+        raise SimulationError("A sliver must be (even kc, 5)")
+    out = np.empty((kc // K_GROUP, MR, K_GROUP))
+    for g in range(kc // K_GROUP):
+        out[g] = a_sliver[2 * g : 2 * g + 2, :].T
+    return out
+
+
+def pack_b_kvec(b_sliver: "np.ndarray") -> np.ndarray:
+    """Pack a ``(kc, 5)`` B sliver k-vectorized: ``out[g, j, :]`` holds
+    ``B[2g:2g+2, j]``."""
+    kc, nr = b_sliver.shape
+    if nr != NR or kc % K_GROUP:
+        raise SimulationError("B sliver must be (even kc, 5)")
+    out = np.empty((kc // K_GROUP, NR, K_GROUP))
+    for g in range(kc // K_GROUP):
+        out[g] = b_sliver[2 * g : 2 * g + 2, :].T
+    return out
+
+
+A_BASE = 0x100000
+B_BASE = 0x200000
+C_BASE = 0x300000
+
+
+def execute_atlas_micro_tile(
+    a_sliver: "np.ndarray",
+    b_sliver: "np.ndarray",
+    c_tile: Optional["np.ndarray"] = None,
+) -> "np.ndarray":
+    """Functionally execute the ATLAS kernel over one 5x5 micro-tile.
+
+    Args:
+        a_sliver: ``(kc, 5)`` packed-order A sliver (kc even).
+        b_sliver: ``(kc, 5)`` B sliver.
+        c_tile: Initial 5x5 C tile.
+
+    Returns:
+        The updated 5x5 C tile (exactly ``C + A^T @ B``).
+    """
+    kc = a_sliver.shape[0]
+    kernel = build_atlas_kernel()
+    packed_a = pack_a_kvec(np.asarray(a_sliver, float))
+    packed_b = pack_b_kvec(np.asarray(b_sliver, float))
+
+    memory = Memory()
+    # One padding group of zeros: the last body pass preloads past the end.
+    memory.map_region(
+        A_BASE, np.vstack([packed_a.reshape(-1, 2), np.zeros((MR, 2))])
+    )
+    memory.map_region(
+        B_BASE, np.vstack([packed_b.reshape(-1, 2), np.zeros((NR, 2))])
+    )
+    # C tile buffer padded to 6 rows per column (the row-4 store writes a
+    # 16-byte pair whose second lane is the faddp zero).
+    c0 = np.zeros((MR, NR)) if c_tile is None else np.asarray(c_tile, float)
+    if c0.shape != (MR, NR):
+        raise SimulationError("C tile must be 5x5")
+    padded = np.zeros((6, NR))
+    memory.map_region(C_BASE, padded.T.copy())
+
+    state = MachineState()
+    ex = Executor(state, memory)
+
+    # Preamble: load group 0's A values and first B column.
+    state.set_pointer(A_POINTER, A_BASE)
+    state.set_pointer(B_POINTER, B_BASE)
+    for i in range(MR):
+        ex.execute(Ldr(dst=A_REGS[i], base=A_POINTER, tag="A"))
+    ex.execute(Ldr(dst=B_REGS[0], base=B_POINTER, tag="B"))
+
+    groups = kc // K_GROUP
+    for _g in range(groups):
+        ex.run(kernel.body)
+
+    # The A scratch register must be zero for the row-4 faddp pairing.
+    state.vregs[0][:] = 0.0
+    state.set_pointer(C_POINTER, C_BASE)
+    ex.run(kernel.epilogue)
+
+    stored = memory.region_at(C_BASE).reshape(NR, 6).T
+    return c0 + stored[:MR, :]

@@ -1,0 +1,252 @@
+"""Load-instruction scheduling inside the register kernel (eq. (13), Fig. 7).
+
+Within the unrolled loop body the FMLA order is fixed (the zig-zag of
+Fig. 6 repeated over the eight copies); the remaining freedom is *where* to
+insert the loads that fetch each next copy's A/B values, plus the two
+prefetches per copy. The paper's objective (13) maximizes the minimum
+distance between each load ('W') and the first FMLA that reads the loaded
+register ('R'), subject to correctness:
+
+- a load into register v must come after the last read ('CL') of v's
+  current tenant (decided by the rotation plan);
+- loads from one stream (A via x14, B via x15) use post-indexed
+  addressing, so each stream's loads must issue in address order;
+- at most one memory operation fits between two FMLAs (one load port).
+
+Loads may spill past their copy's last FMLA into the next copy's frame —
+exactly the paper's Fig. 7, where the first loads of each frame are marked
+red ("loaded in #(i-1)%8"). The scheduler therefore works *globally* over
+the whole unrolled body, treating it as periodic: greedy earliest placement
+in global gap coordinates, which is optimal for the min-distance objective
+(no load can move earlier; moving later only shrinks its own distance).
+
+Distances are reported in instruction positions of the final interleaved
+stream, the unit of the paper's Fig. 7 (which realizes distance 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.kernels.kernel_spec import KernelSpec
+from repro.kernels.rotation import RotationPlan, slot_read_positions
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One instruction slot of the scheduled body.
+
+    Attributes:
+        kind: ``"fmla"``, ``"ldr"`` or ``"prfm"``.
+        copy: The unrolled copy whose frame this op sits in.
+        fmla_index: For FMLAs, the zig-zag index within the copy.
+        slot: For loads, the value slot being loaded (e.g. ``"A2"``) —
+            the value belongs to copy ``value_copy``.
+        value_copy: For loads, the copy whose value is fetched.
+        stream: For loads/prefetches, ``"A"`` or ``"B"``.
+    """
+
+    kind: str
+    copy: int = -1
+    fmla_index: int = -1
+    slot: str = ""
+    value_copy: int = -1
+    stream: str = ""
+
+
+@dataclass(frozen=True)
+class BodySchedule:
+    """The scheduled instruction order of one steady-state loop body.
+
+    Attributes:
+        spec: Kernel shape.
+        plan: Rotation plan the schedule serves.
+        ops: The body's instructions in issue order (length =
+            ``unroll * (fmla_per_iter + ldr_per_iter [+ 2])``).
+        min_load_use_distance: Realized eq.-(13) objective in stream
+            positions.
+        loads_per_copy: Loads contained in each copy frame (diagnostic).
+    """
+
+    spec: KernelSpec
+    plan: RotationPlan
+    ops: Tuple[ScheduledOp, ...]
+    min_load_use_distance: int
+    loads_per_copy: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def schedule_body(
+    spec: KernelSpec,
+    plan: RotationPlan,
+    with_prefetch: bool = True,
+    strategy: str = "earliest",
+) -> BodySchedule:
+    """Schedule loads and prefetches across the whole unrolled body.
+
+    Simulates three periods of the periodic pattern and extracts the middle
+    one, so wraparound effects at the body boundary are steady-state.
+
+    Args:
+        spec: Kernel shape.
+        plan: Rotation plan (decides each load's earliest legal gap).
+        with_prefetch: Insert the PREFA/PREFB prefetches.
+        strategy: ``"earliest"`` is the paper's eq.-(13) optimum (greedy
+            earliest placement maximizes every load-use distance);
+            ``"latest"`` is the naive-compiler ablation that issues each
+            load as close to its first use as constraints allow —
+            quantifying what instruction scheduling itself is worth.
+    """
+    if strategy not in ("earliest", "latest"):
+        raise SchedulingError(f"unknown strategy {strategy!r}")
+    reads = slot_read_positions(spec)
+    fpi = spec.fmla_per_iter
+    unroll = plan.unroll
+    period_fmla = unroll * fpi
+    periods = 3
+    total_fmla = periods * period_fmla
+
+    # Global gap g sits immediately before global fmla g (g in 0..total).
+    # Build per-stream load queues in address order.
+    queues: Dict[str, List[Tuple[str, int, int, int]]] = {"A": [], "B": []}
+    for c in range(periods * unroll):
+        for slot in spec.slot_names():
+            value_copy = c + 1  # loads during copy c fetch copy c+1 values
+            tenant = plan.previous_tenant(slot, value_copy % unroll)
+            if tenant is None:
+                cl_global = c * fpi - 1  # spare register: free all frame
+            else:
+                cl_global = c * fpi + reads[tenant[0]].last
+            nf_global = value_copy * fpi + reads[slot].first
+            queues[slot[0]].append((slot, value_copy, cl_global + 1, nf_global))
+
+    # Placement with one memory op per gap and per-stream address order.
+    gap_used: Dict[int, bool] = {}
+    cursor = {"A": 0, "B": 0}
+    placements: List[Tuple[int, str, int, int]] = []  # (gap, slot, vcopy, nf)
+    heads = {s: 0 for s in queues}
+    while any(heads[s] < len(queues[s]) for s in queues):
+        best_stream: Optional[str] = None
+        best_gap: Optional[int] = None
+        for stream, queue in queues.items():
+            if heads[stream] >= len(queue):
+                continue
+            slot, vcopy, earliest, nf = queue[heads[stream]]
+            floor = max(earliest, cursor[stream])
+            if strategy == "latest":
+                # As late as constraints allow: start at the gap right
+                # before the first use and fall back toward the floor.
+                gap = nf - 1
+                while gap > floor and gap_used.get(gap, False):
+                    gap -= 1
+                if gap_used.get(gap, False) or gap < floor:
+                    gap = floor
+                    while gap_used.get(gap, False):
+                        gap += 1
+            else:
+                gap = floor
+                while gap_used.get(gap, False):
+                    gap += 1
+            if gap >= nf:
+                raise SchedulingError(
+                    f"load of {slot} (copy {vcopy}) cannot be placed before "
+                    "its first use; rotation plan leaves no window"
+                )
+            if best_gap is None or gap < best_gap:
+                best_gap, best_stream = gap, stream
+        assert best_stream is not None and best_gap is not None
+        slot, vcopy, _earliest, nf = queues[best_stream][heads[best_stream]]
+        heads[best_stream] += 1
+        gap_used[best_gap] = True
+        cursor[best_stream] = best_gap + 1
+        placements.append((best_gap, slot, vcopy, nf))
+
+    # Prefetches: one PLDL1KEEP (A) and one PLDL2KEEP (B) per copy, in the
+    # latest free gaps of the copy's frame. Very small tiles may have no
+    # free gap left in some frames (all occupied by loads); those frames
+    # simply go without a prefetch — a real kernel for such a tile would
+    # prefetch at a lower rate too.
+    prefetches: List[Tuple[int, str]] = []
+    if with_prefetch:
+        for c in range(periods * unroll):
+            frame_end = (c + 1) * fpi - 1
+            gap = frame_end
+            for stream in ("A", "B"):
+                while gap >= c * fpi and gap_used.get(gap, False):
+                    gap -= 1
+                if gap < c * fpi:
+                    break  # frame full: skip remaining prefetches
+                gap_used[gap] = True
+                prefetches.append((gap, stream))
+                gap -= 1
+
+    # Materialize the full multi-period stream.
+    stream_ops: List[ScheduledOp] = []
+    fmla_pos: List[int] = []  # stream position of each global fmla
+    load_pos: Dict[Tuple[str, int], int] = {}  # (slot, raw value copy) -> pos
+    placed_by_gap: Dict[int, List[Tuple[str, int]]] = {}
+    for gap, slot, vcopy, _nf in placements:
+        placed_by_gap.setdefault(gap, []).append((slot, vcopy))
+    pf_by_gap: Dict[int, List[str]] = {}
+    for gap, stream in prefetches:
+        pf_by_gap.setdefault(gap, []).append(stream)
+
+    for f in range(total_fmla + 1):
+        for slot, vcopy in placed_by_gap.get(f, []):
+            load_pos[(slot, vcopy)] = len(stream_ops)
+            stream_ops.append(
+                ScheduledOp(
+                    kind="ldr",
+                    copy=(f // fpi) % unroll,
+                    slot=slot,
+                    value_copy=vcopy % unroll,
+                    stream=slot[0],
+                )
+            )
+        for stream in pf_by_gap.get(f, []):
+            stream_ops.append(
+                ScheduledOp(kind="prfm", copy=(f // fpi) % unroll, stream=stream)
+            )
+        if f < total_fmla:
+            fmla_pos.append(len(stream_ops))
+            stream_ops.append(
+                ScheduledOp(
+                    kind="fmla", copy=(f // fpi) % unroll, fmla_index=f % fpi
+                )
+            )
+
+    # Realized objective over the middle period's loads.
+    mid_lo, mid_hi = period_fmla, 2 * period_fmla
+    min_dist: Optional[int] = None
+    for gap, slot, vcopy, nf in placements:
+        if not mid_lo <= gap < mid_hi:
+            continue
+        if nf >= total_fmla:
+            continue
+        dist = fmla_pos[nf] - load_pos[(slot, vcopy)]
+        if min_dist is None or dist < min_dist:
+            min_dist = dist
+    if min_dist is None:
+        raise SchedulingError("middle period contained no loads")
+
+    # Extract the middle period's ops as the steady-state body.
+    mid_ops: List[ScheduledOp] = []
+    loads_per_copy = [0] * unroll
+    lo_pos = fmla_pos[mid_lo]
+    hi_pos = fmla_pos[mid_hi]
+    for op in stream_ops[lo_pos:hi_pos]:
+        mid_ops.append(op)
+        if op.kind == "ldr":
+            loads_per_copy[op.copy % unroll] += 1
+
+    return BodySchedule(
+        spec=spec,
+        plan=plan,
+        ops=tuple(mid_ops),
+        min_load_use_distance=min_dist,
+        loads_per_copy=tuple(loads_per_copy),
+    )

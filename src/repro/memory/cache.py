@@ -1,0 +1,236 @@
+"""Set-associative cache simulator.
+
+The simulator is line-granular: callers present byte addresses (or line
+indices) and the cache tracks presence per 64-byte line per set, with the
+configured associativity and replacement policy. A fast path implements true
+LRU with :class:`collections.OrderedDict`; RANDOM and PLRU run through the
+generic per-set policy objects.
+
+Statistics distinguish demand loads, stores and software prefetches, which
+is what Fig. 15 (L1-dcache-load counts) and Table VII (L1 miss rates) need.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.params import CacheParams, ReplacementPolicy, WritePolicy
+from repro.errors import SimulationError
+from repro.memory.replacement import SetPolicy, make_set_policy
+
+KIND_LOAD = "load"
+KIND_STORE = "store"
+KIND_PREFETCH = "prefetch"
+
+_KINDS = (KIND_LOAD, KIND_STORE, KIND_PREFETCH)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    loads: int = 0
+    load_misses: int = 0
+    stores: int = 0
+    store_misses: int = 0
+    prefetches: int = 0
+    prefetch_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores + self.prefetches
+
+    @property
+    def misses(self) -> int:
+        return self.load_misses + self.store_misses + self.prefetch_misses
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Demand-load miss rate (the paper's L1-dcache-load-miss rate)."""
+        return self.load_misses / self.loads if self.loads else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum, used to aggregate per-core caches."""
+        return CacheStats(
+            loads=self.loads + other.loads,
+            load_misses=self.load_misses + other.load_misses,
+            stores=self.stores + other.stores,
+            store_misses=self.store_misses + other.store_misses,
+            prefetches=self.prefetches + other.prefetches,
+            prefetch_misses=self.prefetch_misses + other.prefetch_misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+
+class Cache:
+    """One set-associative cache level.
+
+    Args:
+        params: Geometry and policy description.
+        rng: RNG used by the RANDOM policy (seeded for reproducibility).
+    """
+
+    def __init__(
+        self, params: CacheParams, rng: Optional[random.Random] = None
+    ) -> None:
+        self.params = params
+        self.stats = CacheStats()
+        self._num_sets = params.num_sets
+        self._line_bytes = params.line_bytes
+        self._ways = params.ways
+        self._is_lru = params.replacement is ReplacementPolicy.LRU
+        # Write-through caches never hold dirty lines: every store is
+        # propagated outward by the hierarchy instead of being buffered.
+        self._write_back = params.write_policy is WritePolicy.WRITE_BACK
+        if self._is_lru:
+            # tag -> dirty flag, in recency order (last = MRU).
+            self._lru_sets: List["OrderedDict[int, bool]"] = [
+                OrderedDict() for _ in range(self._num_sets)
+            ]
+        else:
+            self._tags: List[List[Optional[int]]] = [
+                [None] * self._ways for _ in range(self._num_sets)
+            ]
+            self._dirty: List[List[bool]] = [
+                [False] * self._ways for _ in range(self._num_sets)
+            ]
+            self._policies: List[SetPolicy] = [
+                make_set_policy(params.replacement, self._ways, rng)
+                for _ in range(self._num_sets)
+            ]
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        """Line index containing byte ``address``."""
+        return address // self._line_bytes
+
+    def set_of_line(self, line: int) -> int:
+        """Set index for a line index."""
+        return line % self._num_sets
+
+    # -- core access --------------------------------------------------------
+
+    def access_line(self, line: int, kind: str = KIND_LOAD) -> bool:
+        """Access one cache line; returns True on hit, False on miss.
+
+        A miss allocates the line (also for stores and prefetches —
+        write-allocate, matching the paper's write-back caches).
+        """
+        if kind not in _KINDS:
+            raise SimulationError(f"unknown access kind: {kind!r}")
+        if self._is_lru:
+            hit = self._access_lru(line, kind)
+        else:
+            hit = self._access_generic(line, kind)
+        self._count(kind, hit)
+        return hit
+
+    def _access_lru(self, line: int, kind: str) -> bool:
+        s = self._lru_sets[line % self._num_sets]
+        dirty = kind == KIND_STORE and self._write_back
+        if line in s:
+            s[line] = s[line] or dirty
+            s.move_to_end(line)
+            return True
+        if len(s) >= self._ways:
+            _, evicted_dirty = s.popitem(last=False)
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.writebacks += 1
+        s[line] = dirty
+        return False
+
+    def _access_generic(self, line: int, kind: str) -> bool:
+        set_idx = line % self._num_sets
+        tags = self._tags[set_idx]
+        dirty = self._dirty[set_idx]
+        policy = self._policies[set_idx]
+        for way, tag in enumerate(tags):
+            if tag == line:
+                policy.touch(way)
+                if kind == KIND_STORE and self._write_back:
+                    dirty[way] = True
+                return True
+        # Miss: prefer an empty way, else the policy's victim.
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = policy.victim()
+            self.stats.evictions += 1
+            if dirty[way]:
+                self.stats.writebacks += 1
+        tags[way] = line
+        dirty[way] = kind == KIND_STORE and self._write_back
+        policy.touch(way)
+        return False
+
+    def _count(self, kind: str, hit: bool) -> None:
+        if kind == KIND_LOAD:
+            self.stats.loads += 1
+            if not hit:
+                self.stats.load_misses += 1
+        elif kind == KIND_STORE:
+            self.stats.stores += 1
+            if not hit:
+                self.stats.store_misses += 1
+        else:
+            self.stats.prefetches += 1
+            if not hit:
+                self.stats.prefetch_misses += 1
+
+    # -- convenience --------------------------------------------------------
+
+    def access_bytes(self, address: int, nbytes: int, kind: str = KIND_LOAD) -> int:
+        """Access a byte range; returns the number of line misses."""
+        if nbytes <= 0:
+            return 0
+        first = self.line_of(address)
+        last = self.line_of(address + nbytes - 1)
+        misses = 0
+        for line in range(first, last + 1):
+            if not self.access_line(line, kind):
+                misses += 1
+        return misses
+
+    def contains_line(self, line: int) -> bool:
+        """True if ``line`` is currently resident (no state update)."""
+        if self._is_lru:
+            return line in self._lru_sets[line % self._num_sets]
+        return line in self._tags[line % self._num_sets]
+
+    def resident_lines(self) -> int:
+        """Total number of lines currently resident."""
+        if self._is_lru:
+            return sum(len(s) for s in self._lru_sets)
+        return sum(
+            1 for ways in self._tags for tag in ways if tag is not None
+        )
+
+    def flush(self) -> None:
+        """Drop all contents (stats are retained)."""
+        if self._is_lru:
+            for s in self._lru_sets:
+                s.clear()
+        else:
+            for tags, dirty in zip(self._tags, self._dirty):
+                for i in range(self._ways):
+                    tags[i] = None
+                    dirty[i] = False
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

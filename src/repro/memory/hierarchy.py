@@ -1,0 +1,205 @@
+"""Multi-level, multi-core memory hierarchy.
+
+Builds the Fig. 1 topology from a :class:`~repro.arch.params.ChipParams`:
+a private L1D per core, an L2 shared by each dual-core module, an L3 shared
+by the whole chip, and DRAM behind two memory bridges. Accesses walk down
+the levels on miss and allocate on the way back up (non-inclusive,
+allocate-on-fill), charging the latency of the deepest level reached.
+
+Software prefetches (``PLDL1KEEP`` / ``PLDL2KEEP``) install a line into the
+target level and every level below it, without charging demand latency —
+the timing benefit of prefetching is that later demand accesses hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.params import ChipParams
+from repro.errors import SimulationError
+from repro.memory.cache import (
+    KIND_LOAD,
+    KIND_PREFETCH,
+    KIND_STORE,
+    Cache,
+    CacheStats,
+)
+from repro.memory.tlb import Tlb
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access.
+
+    Attributes:
+        level_hit: 1-based cache level that served the access;
+            ``len(levels)+1`` means DRAM.
+        latency_cycles: Load-to-use latency charged for this access.
+        tlb_miss: Whether the access missed in the TLB (if modeled).
+    """
+
+    level_hit: int
+    latency_cycles: int
+    tlb_miss: bool = False
+
+
+class MemoryHierarchy:
+    """The chip's cache/DRAM system, shared-level aware.
+
+    Args:
+        chip: Architecture description.
+        with_tlb: Model per-core TLBs if the chip defines TLB parameters.
+    """
+
+    def __init__(self, chip: ChipParams, with_tlb: bool = False) -> None:
+        self.chip = chip
+        # Private L1 per core.
+        self.l1: List[Cache] = [Cache(chip.l1d) for _ in range(chip.cores)]
+        # One L2 per module.
+        self.l2: List[Cache] = [Cache(chip.l2) for _ in range(chip.modules)]
+        # One L3 for the chip (optional).
+        self.l3: Optional[Cache] = Cache(chip.l3) if chip.l3 else None
+        self.dram_accesses = 0
+        self.dram_line_bytes = chip.l1d.line_bytes
+        self.tlbs: List[Optional[Tlb]] = [
+            Tlb(chip.tlb) if (with_tlb and chip.tlb) else None
+            for _ in range(chip.cores)
+        ]
+
+    # -- topology helpers ---------------------------------------------------
+
+    def module_of(self, core: int) -> int:
+        """Module index owning ``core``."""
+        self._check_core(core)
+        return core // self.chip.cores_per_module
+
+    def levels_for(self, core: int) -> List[Cache]:
+        """The cache path for ``core``, fastest first."""
+        self._check_core(core)
+        path = [self.l1[core], self.l2[self.module_of(core)]]
+        if self.l3 is not None:
+            path.append(self.l3)
+        return path
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.chip.cores:
+            raise SimulationError(f"core {core} out of range")
+
+    # -- demand accesses ----------------------------------------------------
+
+    def access_line(
+        self, core: int, line: int, kind: str = KIND_LOAD
+    ) -> AccessResult:
+        """One demand line access from ``core``; walks the hierarchy."""
+        levels = self.levels_for(core)
+        level_params = self.chip.cache_levels
+        tlb_miss = False
+        tlb = self.tlbs[core]
+        if tlb is not None:
+            tlb_miss = not tlb.access_line(line, self.dram_line_bytes)
+        for depth, cache in enumerate(levels):
+            if cache.access_line(line, kind):
+                lat = level_params[depth].latency_cycles
+                if tlb is not None and tlb_miss:
+                    lat += tlb.params.miss_penalty_cycles
+                if kind == KIND_STORE:
+                    # Write-through levels propagate the store outward.
+                    d = depth
+                    while (
+                        d < len(levels)
+                        and level_params[d].write_policy.value
+                        == "write-through"
+                    ):
+                        if d + 1 < len(levels):
+                            levels[d + 1].access_line(line, KIND_STORE)
+                        else:
+                            self.dram_accesses += 1
+                        d += 1
+                return AccessResult(depth + 1, lat, tlb_miss)
+            # Miss: fall through to the next level; the line was allocated
+            # in this level by access_line (allocate-on-fill).
+        self.dram_accesses += 1
+        lat = self.chip.dram.latency_cycles
+        if tlb is not None and tlb_miss:
+            lat += tlb.params.miss_penalty_cycles
+        return AccessResult(len(levels) + 1, lat, tlb_miss)
+
+    def access_bytes(
+        self, core: int, address: int, nbytes: int, kind: str = KIND_LOAD
+    ) -> List[AccessResult]:
+        """Demand access to a byte range, one result per touched line."""
+        if nbytes <= 0:
+            return []
+        lb = self.dram_line_bytes
+        first, last = address // lb, (address + nbytes - 1) // lb
+        return [
+            self.access_line(core, line, kind)
+            for line in range(first, last + 1)
+        ]
+
+    # -- software prefetch --------------------------------------------------
+
+    def prefetch_line(self, core: int, line: int, target_level: int) -> None:
+        """Install ``line`` into ``target_level`` and all deeper levels.
+
+        ``target_level`` is 1-based (1 = L1). Prefetches never charge demand
+        latency here; they are accounted as prefetch traffic.
+        """
+        levels = self.levels_for(core)
+        if not 1 <= target_level <= len(levels):
+            raise SimulationError(
+                f"prefetch target level {target_level} out of range"
+            )
+        for cache in levels[target_level - 1 :]:
+            if cache.access_line(line, KIND_PREFETCH):
+                break  # already present here and (assumed) below
+
+    # -- statistics ---------------------------------------------------------
+
+    def l1_stats(self, core: Optional[int] = None) -> CacheStats:
+        """Stats for one core's L1, or all L1s merged."""
+        if core is not None:
+            self._check_core(core)
+            return self.l1[core].stats
+        merged = CacheStats()
+        for cache in self.l1:
+            merged = merged.merged_with(cache.stats)
+        return merged
+
+    def l2_stats(self, module: Optional[int] = None) -> CacheStats:
+        if module is not None:
+            return self.l2[module].stats
+        merged = CacheStats()
+        for cache in self.l2:
+            merged = merged.merged_with(cache.stats)
+        return merged
+
+    def l3_stats(self) -> CacheStats:
+        if self.l3 is None:
+            return CacheStats()
+        return self.l3.stats
+
+    def flush(self) -> None:
+        """Empty every cache (stats retained)."""
+        for cache in self.l1:
+            cache.flush()
+        for cache in self.l2:
+            cache.flush()
+        if self.l3 is not None:
+            self.l3.flush()
+        for tlb in self.tlbs:
+            if tlb is not None:
+                tlb.flush()
+
+    def reset_stats(self) -> None:
+        for cache in self.l1:
+            cache.reset_stats()
+        for cache in self.l2:
+            cache.reset_stats()
+        if self.l3 is not None:
+            self.l3.reset_stats()
+        self.dram_accesses = 0
+        for tlb in self.tlbs:
+            if tlb is not None:
+                tlb.reset_stats()

@@ -1,0 +1,93 @@
+"""Hardware sequential prefetcher model.
+
+X-Gene-class cores tag sequential access streams and pull the next line(s)
+into the L1 ahead of demand. The GEBP streams (packed A, packed B) are
+perfectly sequential inside the k-loop, so this prefetcher is what keeps
+the B sliver effectively L1-resident even though true LRU would evict it
+(see :mod:`repro.sim.gebp_cachesim`).
+
+Timeliness is modeled with a deterministic late/drop pattern: a fraction
+``late_rate`` of prefetches fail to arrive before the demand access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class DropPattern:
+    """Deterministic 'every k-th event fires' pattern at a given rate.
+
+    Using an error-accumulator instead of an RNG keeps every simulation
+    bit-reproducible while matching the requested rate exactly over any
+    long window.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise SimulationError("drop rate must be in [0, 1]")
+        self.rate = rate
+        self._acc = 0.0
+
+    def dropped(self) -> bool:
+        """True for a ``rate`` fraction of calls."""
+        self._acc += self.rate
+        if self._acc >= 1.0:
+            self._acc -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue counters for one prefetcher instance."""
+
+    observed_lines: int = 0
+    issued: int = 0
+    late: int = 0
+
+
+class SequentialPrefetcher:
+    """Tagged next-line prefetcher in front of a core's L1.
+
+    Args:
+        hierarchy: The memory system to install lines into.
+        core: The core this prefetcher serves.
+        late_rate: Fraction of prefetches that arrive too late (modeled
+            as not issued).
+        degree: Lines fetched ahead per stream advance.
+    """
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        core: int,
+        late_rate: float = 0.25,
+        degree: int = 1,
+    ) -> None:
+        if degree < 1:
+            raise SimulationError("prefetch degree must be >= 1")
+        self.hierarchy = hierarchy
+        self.core = core
+        self.degree = degree
+        self.stats = PrefetcherStats()
+        self._late = DropPattern(late_rate)
+        self._last_line: Dict[str, int] = {}
+
+    def observe(self, line: int, stream: str) -> None:
+        """Notify the prefetcher of a demand access to ``line`` on a
+        named stream; advances trigger next-line prefetches."""
+        if self._last_line.get(stream) == line:
+            return
+        self._last_line[stream] = line
+        self.stats.observed_lines += 1
+        if self._late.dropped():
+            self.stats.late += 1
+            return
+        for d in range(1, self.degree + 1):
+            self.hierarchy.prefetch_line(self.core, line + d, 1)
+            self.stats.issued += 1

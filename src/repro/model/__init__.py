@@ -1,0 +1,47 @@
+"""The paper's Sec. III performance model and layer gamma ratios."""
+
+from repro.model.perf_model import (
+    CostModel,
+    efficiency_bound,
+    execution_time,
+    gamma,
+    overlapped_time_bound,
+    performance_lower_bound,
+    time_upper_bound,
+)
+from repro.model.roofline import (
+    Roofline,
+    RooflinePoint,
+    dram_roofline,
+    gemm_roofline_study,
+    l1_roofline,
+)
+from repro.model.ratios import (
+    RatioBreakdown,
+    gebp_ratio,
+    gess_ratio,
+    register_kernel_flops_per_update,
+    register_kernel_ratio,
+    register_kernel_words_per_update,
+)
+
+__all__ = [
+    "Roofline",
+    "RooflinePoint",
+    "dram_roofline",
+    "l1_roofline",
+    "gemm_roofline_study",
+    "CostModel",
+    "execution_time",
+    "time_upper_bound",
+    "gamma",
+    "overlapped_time_bound",
+    "performance_lower_bound",
+    "efficiency_bound",
+    "register_kernel_ratio",
+    "gess_ratio",
+    "gebp_ratio",
+    "RatioBreakdown",
+    "register_kernel_words_per_update",
+    "register_kernel_flops_per_update",
+]

@@ -1,0 +1,159 @@
+"""The Sec. III performance model.
+
+Implements eqs. (1)-(6):
+
+- eq. (1): ``T = F*mu + sum W_ij*nu_ij + sum M_ij*eta_ij``;
+- eq. (3): ``T <= F*mu + (1+kappa)*W*pi`` after bounding per-level costs by
+  ``pi = sum nu + sum eta`` and messages by ``M ~ kappa*W``;
+- eq. (4)/(5): overlap-refined bound ``T <= F*(mu + (1+kappa)*pi*psi(gamma)/gamma)``;
+- eq. (6): the performance lower bound ``Perf >= F/T_opt``.
+
+The model is deliberately general: it takes per-level word/message costs and
+an overlapping factor ``psi`` and exposes both the raw estimate and the
+bound. The DGEMM-specific gammas come from :mod:`repro.model.ratios`; the
+calibrated psi comes from :mod:`repro.pipeline.interference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import BlockingError
+
+#: Edge in the memory hierarchy: (from_level, to_level), 0 = registers.
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation and per-edge costs of eq. (1).
+
+    Attributes:
+        mu: Seconds (or cycles) per floating-point operation.
+        nu: Per-word transfer cost for each hierarchy edge (inverse
+            bandwidth), e.g. ``{(1, 0): 0.1}`` for L1->register.
+        eta: Per-message (cache line) cost for each edge (latency).
+        words_per_message: Words per cache line; kappa = 1/words_per_message
+            when every word of each line is used (the packed-data
+            assumption of Sec. III).
+    """
+
+    mu: float
+    nu: Mapping[Edge, float] = field(default_factory=dict)
+    eta: Mapping[Edge, float] = field(default_factory=dict)
+    words_per_message: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mu < 0:
+            raise BlockingError("mu must be non-negative")
+        if self.words_per_message < 1:
+            raise BlockingError("words_per_message must be >= 1")
+        for mapping in (self.nu, self.eta):
+            for edge, cost in mapping.items():
+                if cost < 0:
+                    raise BlockingError(f"negative cost on edge {edge}")
+
+    @property
+    def kappa(self) -> float:
+        """Message-to-word ratio under the packed-data assumption."""
+        return 1.0 / self.words_per_message
+
+    @property
+    def pi(self) -> float:
+        """``pi = sum nu_ij + sum eta_ij`` (Sec. III)."""
+        return sum(self.nu.values()) + sum(self.eta.values())
+
+
+def execution_time(
+    model: CostModel,
+    flops: float,
+    words: Mapping[Edge, float],
+    messages: Optional[Mapping[Edge, float]] = None,
+) -> float:
+    """Eq. (1): exact accounting of compute plus per-edge traffic.
+
+    Args:
+        model: Cost coefficients.
+        flops: Number of floating-point operations ``F``.
+        words: Words moved per edge ``W_ij``.
+        messages: Messages per edge ``M_ij``; derived from ``words`` and
+            ``words_per_message`` when omitted.
+    """
+    if flops < 0:
+        raise BlockingError("flops must be non-negative")
+    t = flops * model.mu
+    for edge, w in words.items():
+        if w < 0:
+            raise BlockingError(f"negative word count on edge {edge}")
+        t += w * model.nu.get(edge, 0.0)
+    if messages is None:
+        messages = {e: w / model.words_per_message for e, w in words.items()}
+    for edge, m in messages.items():
+        t += m * model.eta.get(edge, 0.0)
+    return t
+
+
+def time_upper_bound(model: CostModel, flops: float, total_words: float) -> float:
+    """Eq. (3): ``T <= F*mu + (1+kappa)*W*pi`` (no overlap)."""
+    if flops < 0 or total_words < 0:
+        raise BlockingError("flops and words must be non-negative")
+    return flops * model.mu + (1.0 + model.kappa) * total_words * model.pi
+
+
+def gamma(flops: float, total_words: float) -> float:
+    """Eq. (2): the compute-to-memory access ratio ``gamma = F / W``."""
+    if total_words <= 0:
+        raise BlockingError("total words must be positive")
+    return flops / total_words
+
+
+def overlapped_time_bound(
+    model: CostModel,
+    flops: float,
+    total_words: float,
+    psi: Callable[[float], float],
+) -> float:
+    """Eq. (5): ``T_opt <= F*(mu + (1+kappa)*pi*psi(gamma)/gamma)``."""
+    g = gamma(flops, total_words)
+    factor = psi(g)
+    if not 0.0 <= factor <= 1.0:
+        raise BlockingError(f"psi(gamma) must be in [0,1], got {factor}")
+    return flops * (model.mu + (1.0 + model.kappa) * model.pi * factor / g)
+
+
+def performance_lower_bound(
+    model: CostModel,
+    flops: float,
+    total_words: float,
+    psi: Callable[[float], float],
+) -> float:
+    """Eq. (6): ``Perf >= F / T_opt`` in flops per time unit.
+
+    Larger gamma always yields a larger bound — the monotonicity that drives
+    the whole paper ("maximize the compute-to-memory ratio at every level").
+    """
+    t = overlapped_time_bound(model, flops, total_words, psi)
+    if t <= 0:
+        raise BlockingError("non-positive time bound")
+    return flops / t
+
+
+def efficiency_bound(
+    model: CostModel,
+    g: float,
+    psi: Callable[[float], float],
+    peak_flops_per_time: float,
+) -> float:
+    """Peak-relative efficiency implied by eq. (6) for a given gamma.
+
+    ``eff = (1/mu') / peak`` where ``1/mu' = 1/(mu + (1+kappa)*pi*psi(g)/g)``.
+    """
+    if g <= 0:
+        raise BlockingError("gamma must be positive")
+    if peak_flops_per_time <= 0:
+        raise BlockingError("peak must be positive")
+    per_flop = model.mu + (1.0 + model.kappa) * model.pi * psi(g) / g
+    if per_flop <= 0:
+        raise BlockingError("degenerate cost model")
+    return (1.0 / per_flop) / peak_flops_per_time

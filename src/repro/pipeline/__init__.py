@@ -1,0 +1,16 @@
+"""Core pipeline simulation: scoreboard model and calibrated overlap model."""
+
+from repro.pipeline.interference import (
+    DEFAULT_LAMBDA,
+    DEFAULT_SIGMA,
+    LoadInterferenceModel,
+)
+from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
+
+__all__ = [
+    "ScoreboardCore",
+    "PipelineResult",
+    "LoadInterferenceModel",
+    "DEFAULT_LAMBDA",
+    "DEFAULT_SIGMA",
+]

@@ -1,0 +1,258 @@
+"""In-order-issue scoreboard simulator for one ARMv8 core.
+
+Models the structural and data constraints the paper's instruction
+scheduling targets (Sec. IV-A):
+
+- issue width (X-Gene: 4 instructions/cycle, in program order);
+- one FMA pipe (one ``fmla`` starts per cycle) and one load port;
+- RAW hazards: an instruction cannot issue until every producer of a
+  register it reads has completed (FMA latency, load latency);
+- WAR hazards: optionally enforced. By default they are *not* enforced,
+  mirroring the paper's finding that register renaming hides WAR latency
+  (Sec. V-A); a finite rename pool can be modeled, in which case a write
+  that would overwrite a register still being read by an in-flight older
+  instruction stalls once the pool is exhausted.
+
+The simulator executes a straight-line program (optionally repeated to reach
+steady state) and reports total cycles plus a breakdown of stall causes.
+This is what validates the rotation distance-7 / schedule distance-9 results
+and quantifies the Fig. 13 no-rotation penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.params import CoreParams
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.registers import VReg, XReg
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of simulating a program on the scoreboard core.
+
+    Attributes:
+        cycles: Total cycles from first issue to last completion.
+        issue_cycles: Cycles on which at least one instruction issued.
+        raw_stall_cycles: Cycles lost waiting on RAW dependences.
+        structural_stall_cycles: Cycles lost to pipe/port conflicts.
+        war_stall_cycles: Cycles lost to WAR hazards (rename-pool pressure).
+        instructions: Number of instructions executed.
+        flops: FLOPs performed.
+    """
+
+    cycles: int
+    issue_cycles: int
+    raw_stall_cycles: int
+    structural_stall_cycles: int
+    war_stall_cycles: int
+    instructions: int
+    flops: int
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.cycles if self.cycles else 0.0
+
+    def efficiency(self, core: CoreParams) -> float:
+        """Fraction of the core's peak FLOP rate achieved."""
+        peak = core.flops_per_cycle
+        return self.flops_per_cycle / peak if peak else 0.0
+
+
+class ScoreboardCore:
+    """Cycle-stepped in-order-issue, out-of-order-completion core model.
+
+    Args:
+        core: Core resource description.
+        enforce_war: Model WAR hazards through a finite rename pool. When
+            False (the default, matching the paper's observation), writes
+            never wait for older readers.
+        load_latency: Override the L1-hit load latency (e.g. to model a
+            stream that misses to L2).
+    """
+
+    def __init__(
+        self,
+        core: CoreParams,
+        enforce_war: bool = False,
+        load_latency: Optional[int] = None,
+    ) -> None:
+        self.core = core
+        self.enforce_war = enforce_war
+        self.load_latency = (
+            core.load_latency if load_latency is None else load_latency
+        )
+
+    def _latency(self, instr: Instruction) -> int:
+        if instr.mnemonic is Mnemonic.FMLA:
+            return self.core.fma_latency
+        if instr.mnemonic is Mnemonic.FADDP:
+            return max(1, self.core.fma_latency - 2)
+        if instr.mnemonic is Mnemonic.LDR:
+            return self.load_latency
+        if instr.mnemonic is Mnemonic.STR:
+            return 1
+        return 1  # prfm, nop: retire immediately after issue
+
+    def run(
+        self,
+        instructions: List[Instruction],
+        repeat: int = 1,
+        latency_fn: Optional[Callable[[Instruction, int], int]] = None,
+    ) -> PipelineResult:
+        """Simulate ``instructions`` repeated ``repeat`` times back-to-back.
+
+        Repetition models the unrolled register-kernel loop in steady state:
+        dependences carry across iterations exactly as the rotation scheme
+        intends.
+
+        Args:
+            instructions: The program.
+            repeat: Back-to-back repetitions.
+            latency_fn: Optional per-dynamic-instruction latency override
+                ``(instruction, dynamic_index) -> cycles``; used by the
+                timing-functional simulator to feed real cache-hierarchy
+                latencies into individual loads. Falls back to the static
+                class latencies when it returns a non-positive value.
+        """
+        if repeat < 1:
+            raise SimulationError("repeat must be >= 1")
+        stream = instructions * repeat
+
+        # Ready time per register value (cycle at which the value is
+        # available to consumers). Address registers (XReg) produced by
+        # post-index updates are available one cycle after issue.
+        ready: Dict[object, int] = {}
+        # For WAR modeling: last cycle at which each register is read.
+        last_read: Dict[object, int] = {}
+
+        cycle = 0
+        issued_in_cycle = 0
+        # FMA pipes are busy for fma_throughput_cycles per instruction;
+        # track the cycle at which each pipe frees up.
+        fma_free_at = [0] * self.core.fma_pipes
+        load_used = 0
+        store_used = 0
+        raw_stalls = 0
+        structural_stalls = 0
+        war_stalls = 0
+        issue_cycles = 0
+        any_issued_this_cycle = False
+        last_completion = 0
+        flops = 0
+
+        def advance() -> None:
+            nonlocal cycle, issued_in_cycle, load_used, store_used
+            nonlocal any_issued_this_cycle, issue_cycles
+            if any_issued_this_cycle:
+                issue_cycles += 1
+            cycle += 1
+            issued_in_cycle = 0
+            load_used = 0
+            store_used = 0
+            any_issued_this_cycle = False
+
+        for dyn_index, instr in enumerate(stream):
+            while True:
+                # Structural: issue width.
+                if issued_in_cycle >= self.core.issue_width:
+                    structural_stalls += 1
+                    advance()
+                    continue
+                # Structural: pipes (FADDP shares the FP/FMA pipe).
+                if instr.mnemonic in (Mnemonic.FMLA, Mnemonic.FADDP) and all(
+                    free > cycle for free in fma_free_at
+                ):
+                    structural_stalls += 1
+                    advance()
+                    continue
+                if (
+                    instr.mnemonic in (Mnemonic.LDR, Mnemonic.STR, Mnemonic.PRFM)
+                    and load_used + store_used >= self.core.load_ports
+                ):
+                    structural_stalls += 1
+                    advance()
+                    continue
+                # RAW: all source operands ready?
+                srcs_ready = max(
+                    (ready.get(r, 0) for r in instr.reads()), default=0
+                )
+                if srcs_ready > cycle:
+                    raw_stalls += srcs_ready - cycle
+                    while cycle < srcs_ready:
+                        advance()
+                    continue
+                # WAR via rename-pool pressure (optional).
+                if self.enforce_war:
+                    war_until = max(
+                        (last_read.get(r, 0) for r in instr.writes()),
+                        default=0,
+                    )
+                    if war_until > cycle:
+                        war_stalls += war_until - cycle
+                        while cycle < war_until:
+                            advance()
+                        continue
+                break
+
+            # Issue now.
+            issued_in_cycle += 1
+            any_issued_this_cycle = True
+            if instr.mnemonic in (Mnemonic.FMLA, Mnemonic.FADDP):
+                pipe = min(
+                    range(self.core.fma_pipes), key=lambda p: fma_free_at[p]
+                )
+                fma_free_at[pipe] = cycle + self.core.fma_throughput_cycles
+            elif instr.mnemonic is Mnemonic.LDR:
+                load_used += 1
+            elif instr.mnemonic in (Mnemonic.STR, Mnemonic.PRFM):
+                store_used += 1
+
+            lat = self._latency(instr)
+            if latency_fn is not None:
+                override = latency_fn(instr, dyn_index)
+                if override > 0:
+                    lat = override
+            done = cycle + lat
+            for reg in instr.writes():
+                if isinstance(reg, XReg):
+                    # Post-index address update forwards in one cycle.
+                    ready[reg] = cycle + 1
+                else:
+                    ready[reg] = done
+            for reg in instr.reads():
+                last_read[reg] = max(last_read.get(reg, 0), cycle)
+            last_completion = max(last_completion, done)
+            flops += instr.flops
+
+        if any_issued_this_cycle:
+            issue_cycles += 1
+        return PipelineResult(
+            cycles=max(last_completion, cycle + 1),
+            issue_cycles=issue_cycles,
+            raw_stall_cycles=raw_stalls,
+            structural_stall_cycles=structural_stalls,
+            war_stall_cycles=war_stalls,
+            instructions=len(stream),
+            flops=flops,
+        )
+
+    def steady_state_cycles_per_iteration(
+        self, instructions: List[Instruction], warmup: int = 4, measure: int = 8
+    ) -> float:
+        """Steady-state cycles for one pass over ``instructions``.
+
+        Runs ``warmup + measure`` repetitions and differences the totals so
+        pipeline fill does not pollute the estimate.
+        """
+        short = self.run(instructions, repeat=warmup)
+        long = self.run(instructions, repeat=warmup + measure)
+        return (long.cycles - short.cycles) / measure

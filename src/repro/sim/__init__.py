@@ -1,0 +1,55 @@
+"""Performance simulation: microbench, residency analysis, GEMM cost model."""
+
+from repro.sim.cache_fit import (
+    Residency,
+    StreamCosts,
+    analyze_residency,
+    fill_latency,
+    stream_costs,
+)
+from repro.sim.gebp_cachesim import GebpCacheResult, simulate_gebp_cache
+from repro.sim.gemm_sim import GemmPerformance, GemmSimulator
+from repro.sim.machine import SimulatedMachine
+from repro.sim.microbench import (
+    TABLE_IV_PAPER,
+    TABLE_IV_RATIOS,
+    MicrobenchRow,
+    build_mix,
+    run_microbench,
+)
+from repro.sim.params import DEFAULT_SIM_PARAMS, SimParams
+from repro.sim.synthetic_trace import micro_tiles, synthesize_trace
+from repro.sim.timed_executor import (
+    GebpTimedRun,
+    TimedRun,
+    run_timed_gebp,
+    run_timed_gebp_dual,
+    run_timed_micro_tile,
+)
+
+__all__ = [
+    "GemmSimulator",
+    "SimulatedMachine",
+    "GemmPerformance",
+    "SimParams",
+    "DEFAULT_SIM_PARAMS",
+    "Residency",
+    "StreamCosts",
+    "analyze_residency",
+    "stream_costs",
+    "fill_latency",
+    "simulate_gebp_cache",
+    "GebpCacheResult",
+    "run_microbench",
+    "build_mix",
+    "MicrobenchRow",
+    "TABLE_IV_RATIOS",
+    "TABLE_IV_PAPER",
+    "synthesize_trace",
+    "TimedRun",
+    "GebpTimedRun",
+    "run_timed_gebp",
+    "run_timed_gebp_dual",
+    "run_timed_micro_tile",
+    "micro_tiles",
+]

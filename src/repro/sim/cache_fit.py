@@ -1,0 +1,213 @@
+"""Residency analysis: where each GEBP stream lives in the hierarchy.
+
+This is the analytic core that makes block-size choices matter. Given a
+blocking, a thread placement and the chip's cache geometry, it decides —
+with the same way-reservation arithmetic as eqs. (15)/(17)-(20) — whether:
+
+- the ``kc x nr`` B sliver stays resident in L1,
+- the (possibly shared) ``mc x kc`` A block(s) stay resident in L2,
+- the ``kc x nc`` B panel (plus all threads' A blocks) stays resident
+  in L3,
+
+and converts any violation into the cache level each stream actually
+streams from. :func:`stream_costs` then prices the per-k-iteration fill
+traffic of the A stream, B stream and C tile updates.
+
+The conclusions are validated against the event-accurate cache simulator
+in the test suite (``tests/test_sim_cachefit.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.params import ChipParams
+from repro.blocking.cache_blocking import CacheBlocking
+from repro.errors import SimulationError
+from repro.kernels.kernel_spec import KernelSpec
+
+
+@dataclass(frozen=True)
+class Residency:
+    """Deepest level each stream is served from (1=L1 ... 4=DRAM).
+
+    Attributes:
+        b_sliver_level: Level feeding B-sliver reads of the register
+            kernel (1 when the sliver stays L1-resident).
+        a_block_level: Level feeding the A-sliver stream (2 when the
+            block stays L2-resident).
+        b_panel_level: Level feeding B-panel reads during GEBS
+            (3 when the panel stays L3-resident).
+        c_level: Level feeding C tile loads.
+    """
+
+    b_sliver_level: int
+    a_block_level: int
+    b_panel_level: int
+    c_level: int
+
+
+def _fits_with_reservation(
+    cache_size: int, ways: int, small_bytes: int, large_bytes: int
+) -> bool:
+    """Eq. (15)-style test: does ``large`` fit in the ways left after
+    reserving enough ways for ``small``?"""
+    way_bytes = cache_size // ways
+    k = max(1, math.ceil(small_bytes / way_bytes))
+    if k >= ways:
+        return False
+    return large_bytes <= (ways - k) * way_bytes
+
+
+def analyze_residency(
+    chip: ChipParams,
+    blocking: CacheBlocking,
+    threads: int = 1,
+    m: int = 0,
+    n: int = 0,
+    element_size: int = 8,
+    b_panels: int = 1,
+) -> Residency:
+    """Classify the GEBP streams' home levels for a blocking + placement.
+
+    Args:
+        chip: Architecture.
+        blocking: The (mr, nr, kc, mc, nc) configuration under test.
+        threads: Threads executing; determines L2/L3 sharing per the
+            paper's placement (threads spread over modules first).
+        m, n: Optional problem extents; when given, effective block sizes
+            are clamped (a 256-wide problem never fills a 1920-wide panel).
+        b_panels: Distinct B panels simultaneously live in the L3 —
+            1 under the paper's layer-3 parallelization (one shared
+            panel), ``threads`` under the layer-1 ablation.
+    """
+    if not 1 <= threads <= chip.cores:
+        raise SimulationError(f"threads {threads} out of range")
+    mc = min(blocking.mc, m) if m else blocking.mc
+    nc = min(blocking.nc, n) if n else blocking.nc
+    kc, nr = blocking.kc, blocking.nr
+
+    # L1: B sliver vs (C tile + two A columns), eq. (15).
+    l1 = chip.l1d
+    small1 = (blocking.mr * nr + 2 * blocking.mr) * element_size
+    b_sliver_fits = _fits_with_reservation(
+        l1.size_bytes, l1.ways, small1, kc * nr * element_size
+    )
+
+    # L2: sharers' A blocks vs their B slivers, eq. (17)/(19).
+    l2_sharers = max(1, math.ceil(threads / chip.modules))
+    l2 = chip.l2
+    a_block_fits = _fits_with_reservation(
+        l2.size_bytes,
+        l2.ways,
+        l2_sharers * kc * nr * element_size,
+        l2_sharers * mc * kc * element_size,
+    )
+
+    # L3: B panel vs all threads' A blocks, eq. (18)/(20).
+    if chip.l3 is None:
+        b_panel_fits = False
+        c_level = 3  # DRAM in a two-level hierarchy
+    else:
+        l3 = chip.l3
+        b_panel_fits = _fits_with_reservation(
+            l3.size_bytes,
+            l3.ways,
+            threads * mc * kc * element_size,
+            max(1, b_panels) * kc * nc * element_size,
+        )
+        c_level = len(chip.cache_levels) + 1  # C streams from DRAM
+
+    levels = len(chip.cache_levels)
+    return Residency(
+        b_sliver_level=1 if b_sliver_fits else 2,
+        a_block_level=2 if a_block_fits else min(3, levels),
+        b_panel_level=min(3, levels) if b_panel_fits else levels + 1,
+        c_level=c_level,
+    )
+
+
+@dataclass(frozen=True)
+class StreamCosts:
+    """Non-overlapped fill cycles per k-iteration, by stream.
+
+    All values are already divided down to one k-iteration of one
+    micro-tile, so the simulator can simply add them to the register
+    kernel's per-iteration cost.
+    """
+
+    a_fill: float
+    b_fill: float
+    c_update: float
+
+    @property
+    def total(self) -> float:
+        return self.a_fill + self.b_fill + self.c_update
+
+
+def fill_latency(chip: ChipParams, level: int) -> int:
+    """Load-to-use latency of serving a line from ``level`` (1-based;
+    one past the last cache level = DRAM)."""
+    levels = chip.cache_levels
+    if 1 <= level <= len(levels):
+        return levels[level - 1].latency_cycles
+    return chip.dram.latency_cycles
+
+
+def stream_costs(
+    chip: ChipParams,
+    spec: KernelSpec,
+    blocking: CacheBlocking,
+    residency: Residency,
+    hide: float,
+    hide_b: Optional[float] = None,
+    element_size: int = 8,
+) -> StreamCosts:
+    """Price the per-k-iteration fill traffic implied by ``residency``.
+
+    - A stream: ``mr`` words per iteration arrive from
+      ``a_block_level``; a fraction ``hide`` of the fill latency is
+      covered by prefetch/scheduling.
+    - B stream: if the sliver is L1-resident it is fetched once per GEBS
+      pass and amortized over the ``mc/mr`` micro-tiles that reuse it;
+      otherwise it is refetched every iteration. Its fills are attenuated
+      by ``hide_b`` (PREFB looks a whole sliver ahead).
+    - C: each micro-tile loads and stores ``mr x nr`` elements; loads
+      cannot overlap with compute (Sec. IV-B), stores can. Amortized over
+      the tile's ``kc`` iterations.
+    """
+    if not 0.0 <= hide <= 1.0:
+        raise SimulationError("hide fraction must be in [0, 1]")
+    if hide_b is None:
+        hide_b = hide
+    if not 0.0 <= hide_b <= 1.0:
+        raise SimulationError("hide_b fraction must be in [0, 1]")
+    line = chip.l1d.line_bytes
+    l1_lat = chip.l1d.latency_cycles
+
+    # A stream: lines per k-iteration.
+    a_lines = spec.mr * element_size / line
+    a_cost_line = max(0, fill_latency(chip, residency.a_block_level) - l1_lat)
+    a_fill = a_lines * a_cost_line * (1.0 - hide)
+
+    # B stream.
+    b_lines = spec.nr * element_size / line
+    if residency.b_sliver_level == 1:
+        reuse = max(1, blocking.mc // spec.mr)
+        b_cost_line = max(
+            0, fill_latency(chip, residency.b_panel_level) - l1_lat
+        )
+        b_fill = b_lines * b_cost_line * (1.0 - hide_b) / reuse
+    else:
+        b_cost_line = max(0, fill_latency(chip, 2) - l1_lat)
+        b_fill = b_lines * b_cost_line * (1.0 - hide_b)
+
+    # C tile updates.
+    qloads = spec.mr * spec.nr / 2.0  # 128-bit loads covering the tile
+    c_lat = fill_latency(chip, residency.c_level)
+    per_tile = c_lat + (qloads - 1) * 1.0  # first load full, rest pipeline
+    c_update = per_tile / blocking.kc
+
+    return StreamCosts(a_fill=a_fill, b_fill=b_fill, c_update=c_update)

@@ -1,0 +1,181 @@
+"""Event-accurate cache simulation of GEBP (Table VII, Fig. 15 validation).
+
+Replays the exact memory-access sequence of one GEBP call — packed-A
+sliver loads, packed-B sliver loads, C tile read-modify-writes, and the
+kernel's software prefetches — through the set-associative hierarchy of
+:mod:`repro.memory`. Every 128-bit ``ldr`` of the register kernel becomes
+one demand access, so the L1 counters correspond directly to the paper's
+``L1-dcache-loads`` and ``L1-dcache-load-miss`` perf events.
+
+Two prefetch mechanisms act on the streams, as on the real core:
+
+- **software** (``PLDL1KEEP``/``PLDL2KEEP``): issued by the kernel at the
+  PREFA/PREFB distances. Best-effort — dropped when the load queue is
+  full, modeled by a deterministic drop pattern at rate ``prefetch_drop``.
+- **hardware**: the core's tagged sequential prefetcher. Both the packed
+  A and packed B streams are perfectly sequential inside the k-loop, so
+  on every transition to a new line the next line is pulled in, except
+  when the prefetch is late/dropped (rate ``hw_late``). Without this the
+  B sliver cannot survive the A stream under true LRU — the residency
+  the paper's eq. (15) assumes is delivered jointly by the reservation
+  arithmetic and the sequential prefetcher.
+
+With the default rates the measured miss rates land in the paper's
+3-6% band (Table VII).
+
+Cost is bounded by simulating a slice of the panel (``nc_slice`` columns)
+after a warm-up pass; miss *rates* are steady-state after one sliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.params import ChipParams
+from repro.arch.presets import XGENE
+from repro.blocking.cache_blocking import CacheBlocking
+from repro.errors import SimulationError
+from repro.kernels.kernel_spec import KernelSpec
+from repro.memory.cache import KIND_LOAD, KIND_STORE
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import DropPattern, SequentialPrefetcher
+
+QWORD = 16
+
+#: Backwards-compatible alias (tests exercise the pattern through here).
+_DropPattern = DropPattern
+
+
+@dataclass(frozen=True)
+class GebpCacheResult:
+    """Cache behaviour of one simulated GEBP slice.
+
+    Attributes:
+        l1_loads: Demand 128-bit loads seen by the L1.
+        l1_load_misses: Demand load misses.
+        l1_load_miss_rate: The Table VII metric.
+        l2_loads, l2_load_misses: Same, one level down.
+        dram_accesses: Lines fetched from memory.
+        kernel_loads: Loads issued by the register kernel alone.
+    """
+
+    l1_loads: int
+    l1_load_misses: int
+    l1_load_miss_rate: float
+    l2_loads: int
+    l2_load_misses: int
+    dram_accesses: int
+    kernel_loads: int
+
+
+def simulate_gebp_cache(
+    spec: KernelSpec,
+    blocking: CacheBlocking,
+    chip: ChipParams = XGENE,
+    core: int = 0,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    nc_slice: Optional[int] = None,
+    prefetch: bool = True,
+    prefetch_drop: float = 0.35,
+    hw_late: float = 0.25,
+    prefa_bytes: int = 1024,
+) -> GebpCacheResult:
+    """Replay one GEBP's access stream through the cache hierarchy.
+
+    Args:
+        spec: Register kernel shape.
+        blocking: Block sizes (mc, kc used in full; nc possibly sliced).
+        chip: Architecture.
+        core: Executing core id.
+        hierarchy: Shared hierarchy for multi-thread experiments; a fresh
+            private one is created when omitted.
+        nc_slice: Columns of the B panel to replay (default
+            ``min(nc, 6*nr)`` — steady state is reached within a sliver).
+        prefetch: Software prefetching enabled.
+        prefetch_drop: Fraction of software prefetches dropped.
+        hw_late: Fraction of hardware sequential prefetches that arrive
+            too late to cover the demand access.
+        prefa_bytes: A-stream prefetch distance.
+    """
+    h = hierarchy or MemoryHierarchy(chip)
+    drop = DropPattern(prefetch_drop if prefetch else 1.0)
+    hw = SequentialPrefetcher(h, core, late_rate=hw_late)
+    mr, nr, kc, mc = spec.mr, spec.nr, blocking.kc, blocking.mc
+    nc = nc_slice if nc_slice is not None else min(blocking.nc, 6 * nr)
+    line = chip.l1d.line_bytes
+
+    # Disjoint address regions per core (packed buffers + C panel).
+    base = core * (1 << 30)
+    a_base = base
+    b_base = base + (1 << 28)
+    c_base = base + (1 << 29)
+    elem = 8
+
+    na = -(-mc // mr)
+    nb = -(-nc // nr)
+
+    # Warm the L2/L3 the way GEBP's preconditions state: the packed A
+    # block resides in L2, the packed B panel in L3. Packing itself wrote
+    # them, which is what installs them.
+    for off in range(0, na * kc * mr * elem, line):
+        h.access_line(core, (a_base + off) // line, KIND_STORE)
+    for off in range(0, nb * kc * nr * elem, line):
+        h.access_line(core, (b_base + off) // line, KIND_STORE)
+    h.reset_stats()
+
+    a_qloads_per_iter = -(-mr * elem // QWORD)
+    b_qloads_per_iter = -(-nr * elem // QWORD)
+    kernel_loads = 0
+
+    def demand(addr: int, stream: Optional[str] = None) -> None:
+        ln = addr // line
+        h.access_line(core, ln, KIND_LOAD)
+        if stream is not None:
+            hw.observe(ln, stream)
+
+    for j in range(nb):
+        b_sliver = b_base + j * kc * nr * elem
+        for i in range(na):
+            a_sliver = a_base + i * kc * mr * elem
+            # C tile load (column-major panel with leading dimension mc).
+            for col in range(nr):
+                c_col = c_base + (j * nr + col) * mc * elem + i * mr * elem
+                for off in range(0, mr * elem, QWORD):
+                    demand(c_col + off)
+            # The k-loop.
+            for k in range(kc):
+                a_addr = a_sliver + k * mr * elem
+                b_addr = b_sliver + k * nr * elem
+                for q in range(a_qloads_per_iter):
+                    demand(a_addr + q * QWORD, "A")
+                    kernel_loads += 1
+                for q in range(b_qloads_per_iter):
+                    demand(b_addr + q * QWORD, "B")
+                    kernel_loads += 1
+                if prefetch:
+                    pf_a = a_addr + prefa_bytes
+                    if pf_a < a_sliver + kc * mr * elem and not drop.dropped():
+                        h.prefetch_line(core, pf_a // line, 1)
+            # C tile store.
+            for col in range(nr):
+                c_col = c_base + (j * nr + col) * mc * elem + i * mr * elem
+                for off in range(0, mr * elem, QWORD):
+                    h.access_line(core, (c_col + off) // line, KIND_STORE)
+        if prefetch:
+            # PLDL2KEEP: pull the next sliver toward the L2.
+            nxt = b_base + ((j + 1) % nb) * kc * nr * elem
+            for off in range(0, kc * nr * elem, line):
+                h.prefetch_line(core, (nxt + off) // line, 2)
+
+    l1 = h.l1_stats(core)
+    l2 = h.l2_stats(h.module_of(core))
+    return GebpCacheResult(
+        l1_loads=l1.loads,
+        l1_load_misses=l1.load_misses,
+        l1_load_miss_rate=l1.load_miss_rate,
+        l2_loads=l2.loads,
+        l2_load_misses=l2.load_misses,
+        dram_accesses=h.dram_accesses,
+        kernel_loads=kernel_loads,
+    )

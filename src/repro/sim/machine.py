@@ -1,0 +1,90 @@
+"""The assembled simulated machine — a convenience facade.
+
+Bundles the pieces the rest of :mod:`repro.sim` composes by hand: the
+multi-core cache hierarchy of Fig. 1, one scoreboard core model per core,
+a sequential hardware prefetcher per core, and per-core TLBs when enabled.
+Useful for exploratory work and as the single place that owns the
+chip-to-simulation wiring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.params import ChipParams
+from repro.arch.presets import XGENE
+from repro.errors import SimulationError
+from repro.kernels.codegen import GeneratedKernel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import SequentialPrefetcher
+from repro.pipeline.scoreboard import ScoreboardCore
+
+
+class SimulatedMachine:
+    """One chip's worth of simulation state.
+
+    Args:
+        chip: Architecture description.
+        with_tlb: Model per-core TLBs.
+        hw_prefetch_late: Lateness of the hardware prefetchers.
+    """
+
+    def __init__(
+        self,
+        chip: ChipParams = XGENE,
+        with_tlb: bool = False,
+        hw_prefetch_late: float = 0.25,
+    ) -> None:
+        self.chip = chip
+        self.hierarchy = MemoryHierarchy(chip, with_tlb=with_tlb)
+        self.cores: List[ScoreboardCore] = [
+            ScoreboardCore(chip.core) for _ in range(chip.cores)
+        ]
+        self.prefetchers: List[SequentialPrefetcher] = [
+            SequentialPrefetcher(self.hierarchy, c, late_rate=hw_prefetch_late)
+            for c in range(chip.cores)
+        ]
+
+    def core(self, index: int) -> ScoreboardCore:
+        """The scoreboard model of core ``index``."""
+        if not 0 <= index < self.chip.cores:
+            raise SimulationError(f"core {index} out of range")
+        return self.cores[index]
+
+    def prefetcher(self, index: int) -> SequentialPrefetcher:
+        if not 0 <= index < self.chip.cores:
+            raise SimulationError(f"core {index} out of range")
+        return self.prefetchers[index]
+
+    def run_kernel(
+        self,
+        kernel: GeneratedKernel,
+        a_sliver: "np.ndarray",
+        b_sliver: "np.ndarray",
+        c_tile: Optional["np.ndarray"] = None,
+        core_id: int = 0,
+    ):
+        """Timing-functional micro-tile run on this machine's hierarchy.
+
+        Returns a :class:`~repro.sim.timed_executor.TimedRun`; the
+        machine's caches retain the run's footprint, so consecutive calls
+        model warm-cache behaviour.
+        """
+        from repro.sim.timed_executor import run_timed_micro_tile
+
+        return run_timed_micro_tile(
+            kernel,
+            a_sliver,
+            b_sliver,
+            c_tile,
+            chip=self.chip,
+            hierarchy=self.hierarchy,
+            core_id=core_id,
+        )
+
+    def reset(self) -> None:
+        """Flush caches and statistics."""
+        self.hierarchy.flush()
+        self.hierarchy.reset_stats()

@@ -1,0 +1,86 @@
+"""Calibration constants of the performance simulator.
+
+The simulator follows the paper's own methodology: structural quantities
+(instruction counts, traffic, residency) are derived exactly from the
+algorithm and the architecture, while a handful of overlap coefficients —
+the paper's psi — are calibrated once against the paper's published
+micro-benchmarks and then held fixed for *every* experiment. Nothing here
+is tuned per kernel, per block size or per thread count; all of those
+dimensions must emerge from the structural model.
+
+Provenance of each constant:
+
+- load interference (lam, sigma): fitted to Table IV (see
+  :mod:`repro.pipeline.interference`);
+- ``prefetch_hide_full``: residual fill exposure of a fully-windowed
+  prefetch stream; chosen so the serial 8x6 lands near its Table IV upper
+  bound minus the paper's observed ~4pp gap;
+- ``prefetch_hide_partial``: exposure when the scheduling window is shorter
+  than the L2 fill latency (the unrotated kernel of Fig. 13 and the
+  register-starved ATLAS kernel);
+- ``pack_cycles_per_word``: streaming copy cost of packing (read + write,
+  partially overlapped);
+- ``barrier_cycles``: per-synchronization cost of the layer-3 parallel
+  loop's join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.interference import LoadInterferenceModel
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Tunables of :class:`repro.sim.gemm_sim.GemmSimulator`.
+
+    Attributes:
+        interference: Calibrated LDR/FMLA overlap model (Table IV).
+        prefetch_hide_full: Fraction of a line-fill's latency hidden when
+            the kernel's load-use window covers the fill (rotated kernels
+            with prefetching).
+        prefetch_hide_partial: Hidden fraction when the window is too
+            short (static register assignment, register-starved kernels).
+        prefetch_hide_none: Hidden fraction with prefetching disabled.
+        prefetch_hide_b_stream: Hidden fraction for the B-panel stream,
+            whose ``PLDL2KEEP`` lookahead is a whole kc x nr sliver
+            (PREFB = 24 KB for the 8x6 blocking) — long enough to cover
+            even DRAM fills, unlike the A stream's two-iteration PREFA.
+        pack_cycles_per_word: Cycles per float64 word moved by packing.
+        barrier_cycles: Cycles per parallel-loop synchronization point.
+        l2_contention_cycles_per_line: Extra cycles per A-stream line when
+            another thread shares the L2 (bank/port interleaving of two
+            streams) — the mechanism behind the paper's observation that
+            parallel runs lose more efficiency on the low-gamma kernels
+            (they pull more lines per flop through the shared cache).
+        c_update_pipelining: Per-extra-load cycles while filling a C tile
+            (the first load pays full latency; the rest pipeline).
+    """
+
+    interference: LoadInterferenceModel = field(
+        default_factory=LoadInterferenceModel
+    )
+    prefetch_hide_full: float = 0.88
+    prefetch_hide_partial: float = 0.70
+    prefetch_hide_none: float = 0.40
+    prefetch_hide_b_stream: float = 0.99
+    pack_cycles_per_word: float = 2.0
+    barrier_cycles: float = 5000.0
+    l2_contention_cycles_per_line: float = 2.2
+    c_update_pipelining: float = 1.0
+
+    def hide_fraction(
+        self, window_limited: bool, prefetching: bool = True
+    ) -> float:
+        """Hidden fraction of stream-fill latency for a kernel class."""
+        if not prefetching:
+            return self.prefetch_hide_none
+        return (
+            self.prefetch_hide_partial
+            if window_limited
+            else self.prefetch_hide_full
+        )
+
+
+DEFAULT_SIM_PARAMS = SimParams()

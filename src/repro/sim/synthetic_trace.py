@@ -1,0 +1,92 @@
+"""Structural GEMM traces without executing any arithmetic.
+
+Replicates the loop structure of :func:`repro.gemm.driver.dgemm` and
+:func:`repro.gemm.parallel.parallel_dgemm` — the same jj/kk/ii partitioning,
+the same packing events, the same round-robin thread assignment — producing
+the identical :class:`~repro.gemm.trace.GemmTrace` those functions record,
+at negligible cost. The sweeps of Figs. 11/12/14 use these; tests assert
+byte-for-byte agreement with traces recorded by the real implementation.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.cache_blocking import CacheBlocking
+from repro.errors import GemmError
+from repro.gemm.trace import GemmTrace
+
+
+def synthesize_trace(
+    m: int,
+    n: int,
+    k: int,
+    blocking: CacheBlocking,
+    threads: int = 1,
+    axis: str = "m",
+) -> GemmTrace:
+    """Build the structural trace of one DGEMM execution.
+
+    Args:
+        m, n, k: Problem sizes.
+        blocking: Block sizes in effect.
+        threads: Worker count (1 reproduces the serial driver's trace).
+        axis: Parallelization axis, matching
+            :func:`repro.gemm.parallel.parallel_dgemm` — ``"m"`` (the
+            paper's layer-3 split) or ``"n"`` (the layer-1 ablation).
+    """
+    if min(m, n, k) < 0 or threads < 1:
+        raise GemmError("sizes must be non-negative and threads >= 1")
+    if axis not in ("m", "n"):
+        raise GemmError("axis must be 'm' or 'n'")
+    trace = GemmTrace(m=m, n=n, k=k, threads=threads)
+    if m == 0 or n == 0 or k == 0:
+        return trace
+
+    if axis == "n" and threads > 1:
+        col_blocks = list(range(0, n, blocking.nc))
+        for t in range(threads):
+            for jj in col_blocks[t::threads]:
+                ncur = min(blocking.nc, n - jj)
+                first_k = True
+                for kk in range(0, k, blocking.kc):
+                    kcur = min(blocking.kc, k - kk)
+                    trace.record_pack("B", kcur, ncur, thread=t)
+                    for ii in range(0, m, blocking.mc):
+                        mcur = min(blocking.mc, m - ii)
+                        trace.record_pack("A", mcur, kcur, thread=t)
+                        trace.record_gebp(
+                            mcur, kcur, ncur, thread=t, beta_pass=first_k
+                        )
+                    first_k = False
+        return trace
+
+    row_blocks = list(range(0, m, blocking.mc))
+    assignment = {
+        t: row_blocks[t::threads] for t in range(threads)
+    }
+
+    for jj in range(0, n, blocking.nc):
+        ncur = min(blocking.nc, n - jj)
+        first_k = True
+        for kk in range(0, k, blocking.kc):
+            kcur = min(blocking.kc, k - kk)
+            trace.record_pack("B", kcur, ncur, thread=0)
+            if threads == 1:
+                for ii in row_blocks:
+                    mcur = min(blocking.mc, m - ii)
+                    trace.record_pack("A", mcur, kcur)
+                    trace.record_gebp(mcur, kcur, ncur, beta_pass=first_k)
+            else:
+                for t in range(threads):
+                    for ii in assignment[t]:
+                        mcur = min(blocking.mc, m - ii)
+                        trace.record_pack("A", mcur, kcur, thread=t)
+                        trace.record_gebp(
+                            mcur, kcur, ncur, thread=t, beta_pass=first_k
+                        )
+            first_k = False
+    return trace
+
+
+def micro_tiles(mcur: int, ncur: int, mr: int, nr: int) -> int:
+    """Number of (padded) register tiles covering an mcur x ncur panel."""
+    return (-(-mcur // mr)) * (-(-ncur // nr))

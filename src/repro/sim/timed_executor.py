@@ -1,0 +1,445 @@
+"""Timing-functional simulation of generated kernels.
+
+Runs a generated register kernel the way silicon would: every dynamic
+instruction is executed *functionally* (producing the numeric result) and
+*timed* against the machine — loads walk the cache hierarchy at their
+actual addresses (software prefetches install lines; the hardware
+sequential prefetcher observes the streams), and the resulting per-load
+latencies feed the scoreboard's dependence-and-issue model.
+
+This is the most detailed level of the simulator stack:
+
+- the cost model (:mod:`repro.sim.gemm_sim`) prices structure analytically;
+- the cache replay (:mod:`repro.sim.gebp_cachesim`) is event-accurate in
+  addresses but not in time;
+- this module is event-accurate in both values and time, at micro-tile
+  scale — and is what validates the other two
+  (``tests/test_timed_executor.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.params import ChipParams
+from repro.arch.presets import XGENE
+from repro.errors import SimulationError
+from repro.isa.executor import Executor, MachineState, Memory
+from repro.isa.instructions import Instruction, Ldr, Prfm
+from repro.isa.registers import DOUBLE_BYTES
+from repro.kernels.codegen import (
+    A_POINTER,
+    B_POINTER,
+    C_POINTER,
+    GeneratedKernel,
+)
+from repro.kernels.execute import (
+    A_BASE,
+    B_BASE,
+    C_BASE,
+    _body_load_targets,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import SequentialPrefetcher
+from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
+
+
+@dataclass
+class TimedRun:
+    """Result of a timing-functional micro-tile run.
+
+    Attributes:
+        c_tile: The computed ``mr x nr`` C tile.
+        cycles: Scoreboard cycles for the whole run (prologue + bodies +
+            epilogue).
+        cycles_per_iteration: Steady-state cycles per k-iteration.
+        efficiency: Fraction of the core's FMA peak achieved.
+        pipeline: Full scoreboard result.
+        load_latencies: Latency histogram of the kernel's demand loads
+            (cycles -> count).
+    """
+
+    c_tile: "np.ndarray"
+    cycles: int
+    cycles_per_iteration: float
+    efficiency: float
+    pipeline: PipelineResult
+    load_latencies: Dict[int, int]
+
+
+def run_timed_micro_tile(
+    kernel: GeneratedKernel,
+    a_sliver: "np.ndarray",
+    b_sliver: "np.ndarray",
+    c_tile: Optional["np.ndarray"] = None,
+    chip: ChipParams = XGENE,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    core_id: int = 0,
+    hw_late: float = 0.25,
+    warm_l2: bool = True,
+    timing_bases: Optional[Dict[int, int]] = None,
+) -> TimedRun:
+    """Execute and time one micro-tile (GESS) on the simulated machine.
+
+    Args:
+        kernel: Generated even-tile kernel.
+        a_sliver: Packed A sliver ``(kc, mr)``.
+        b_sliver: Packed B sliver ``(kc, nr)``.
+        c_tile: Initial C tile.
+        chip: Architecture.
+        hierarchy: Shared hierarchy (fresh private one when omitted).
+        core_id: Executing core.
+        hw_late: Hardware-prefetcher lateness.
+        warm_l2: Pre-install the packed buffers in L2/L3 (GEBP's
+            precondition: packing already wrote them there).
+        timing_bases: Optional map from pointer-register index to the
+            byte address the stream occupies *in the timed address
+            space* — lets a caller (e.g. :func:`run_timed_gebp`) place
+            many slivers at their true offsets inside shared packed
+            buffers while each tile's functional memory stays local.
+    """
+    spec = kernel.spec
+    mr, nr = spec.mr, spec.nr
+    kc = a_sliver.shape[0]
+    unroll = kernel.plan.unroll
+    if kc % unroll:
+        raise SimulationError(f"kc={kc} must be a multiple of {unroll}")
+
+    # ---- functional state (same layout as kernels.execute) ---------------
+    memory = Memory()
+    memory.map_region(A_BASE, np.vstack([a_sliver, np.zeros((unroll, mr))]))
+    memory.map_region(B_BASE, np.vstack([b_sliver, np.zeros((unroll, nr))]))
+    c0 = np.zeros((mr, nr)) if c_tile is None else np.asarray(c_tile, float)
+    memory.map_region(C_BASE, c0.T.copy())
+
+    state = MachineState()
+    executor = Executor(state, memory)
+
+    # ---- timing state -----------------------------------------------------
+    h = hierarchy or MemoryHierarchy(chip)
+    if warm_l2:
+        line = chip.l1d.line_bytes
+        for base, nbytes in (
+            (A_BASE, (kc + unroll) * mr * DOUBLE_BYTES),
+            (B_BASE, (kc + unroll) * nr * DOUBLE_BYTES),
+        ):
+            for off in range(0, nbytes, line):
+                h.l2[h.module_of(core_id)].access_line((base + off) // line)
+        h.reset_stats()
+    prefetcher = SequentialPrefetcher(h, core_id, late_rate=hw_late)
+
+    # ---- build the dynamic stream, executing functionally and recording
+    # each load's latency from the hierarchy --------------------------------
+    stream: List[Instruction] = []
+    latencies: List[int] = []
+    histogram: Dict[int, int] = {}
+    functional_bases = {
+        A_POINTER.index: A_BASE,
+        B_POINTER.index: B_BASE,
+        C_POINTER.index: C_BASE,
+    }
+
+    def timed_address(base_reg_index: int, addr: int) -> int:
+        if timing_bases is None or base_reg_index not in timing_bases:
+            return addr
+        return timing_bases[base_reg_index] + (
+            addr - functional_bases[base_reg_index]
+        )
+
+    def step(instr: Instruction) -> None:
+        lat = 0
+        if isinstance(instr, Ldr):
+            addr = timed_address(
+                instr.base.index, state.pointer(instr.base)
+            )
+            res = h.access_line(core_id, addr // chip.l1d.line_bytes)
+            lat = res.latency_cycles
+            tag = instr.tag or ""
+            if tag in ("A", "B"):
+                prefetcher.observe(addr // chip.l1d.line_bytes, tag)
+            histogram[lat] = histogram.get(lat, 0) + 1
+        elif isinstance(instr, Prfm):
+            addr = timed_address(
+                instr.base.index, state.pointer(instr.base) + instr.offset
+            )
+            h.prefetch_line(
+                core_id, addr // chip.l1d.line_bytes, instr.target.level
+            )
+        executor.execute(instr)
+        stream.append(instr)
+        latencies.append(lat)
+
+    # Prologue: C tile loads.
+    state.set_pointer(C_POINTER, C_BASE)
+    for instr in kernel.prologue:
+        step(instr)
+
+    # Preload + stream pointers (same rules as functional execution).
+    targets, preload = _body_load_targets(kernel)
+    plan = kernel.plan
+    for slot in preload:
+        reg = plan.register_for(slot, 0)
+        idx = int(slot[1:])
+        src = a_sliver if slot[0] == "A" else b_sliver
+        state.vregs[reg][:] = src[0, 2 * idx : 2 * idx + 2]
+    first = {"A": None, "B": None}
+    for _i, slot, k_off in targets:
+        s = slot[0]
+        if first[s] is None:
+            width = mr if s == "A" else nr
+            base = A_BASE if s == "A" else B_BASE
+            first[s] = base + (k_off * width + 2 * int(slot[1:])) * DOUBLE_BYTES
+    if first["A"] is not None:
+        state.set_pointer(A_POINTER, first["A"])
+    if first["B"] is not None:
+        state.set_pointer(B_POINTER, first["B"])
+
+    for _body in range(kc // unroll):
+        for instr in kernel.body:
+            step(instr)
+
+    state.set_pointer(C_POINTER, C_BASE)
+    for instr in kernel.epilogue:
+        step(instr)
+
+    # ---- time the recorded stream on the scoreboard -----------------------
+    core = ScoreboardCore(chip.core)
+    result = core.run(
+        stream, latency_fn=lambda _instr, i: latencies[i]
+    )
+
+    flops = kc * spec.flops_per_iter
+    peak = chip.core.flops_per_cycle
+    return TimedRun(
+        c_tile=memory.region_at(C_BASE).reshape(nr, mr).T.copy(),
+        cycles=result.cycles,
+        cycles_per_iteration=result.cycles / kc,
+        efficiency=(flops / result.cycles) / peak,
+        pipeline=result,
+        load_latencies=histogram,
+    )
+
+
+@dataclass
+class GebpTimedRun:
+    """Result of a timed full-GEBP run.
+
+    Attributes:
+        c_panel: The computed ``mc x nc`` C panel.
+        cycles: Total cycles across all micro-tiles.
+        cycles_per_iteration: Average cycles per k-iteration.
+        efficiency: Fraction of the core's FMA peak (padding counted as
+            overhead, so ragged panels show their real cost).
+        tile_cycles: Per-(i, j) micro-tile cycle counts.
+    """
+
+    c_panel: "np.ndarray"
+    cycles: int
+    cycles_per_iteration: float
+    efficiency: float
+    tile_cycles: List[int]
+
+
+def run_timed_gebp_dual(
+    kernel: GeneratedKernel,
+    packed_a0: "np.ndarray",
+    packed_a1: "np.ndarray",
+    packed_b: "np.ndarray",
+    chip: ChipParams = XGENE,
+    cores: Tuple[int, int] = (0, 1),
+    hw_late: float = 0.25,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> Tuple[GebpTimedRun, GebpTimedRun]:
+    """Two cores of one module run their GEBPs interleaved tile-by-tile.
+
+    This is the eq.-(19) experiment at instruction level: each core owns
+    its packed A block, both share the packed B panel, and both A blocks
+    compete for the *same physical L2*. With the serial mc the two blocks
+    overflow it and the A streams fall back to L3/DRAM latencies (visible
+    in the load histograms); with the parallel mc they coexist — the
+    Table VI phenomenon reproduced cycle by cycle.
+
+    Args:
+        kernel: Generated even-tile kernel (both cores run it).
+        packed_a0, packed_a1: Each core's packed A block ``(na, kc, mr)``.
+        packed_b: The shared packed B panel ``(nb, kc, nr)``.
+        chip: Architecture.
+        cores: The two core ids; must live on one module.
+        hw_late: Hardware-prefetcher lateness.
+        hierarchy: Pass a fresh hierarchy to inspect its statistics
+            afterwards (the shared L2's miss counts are where the
+            overflow shows; the run's timing is optimistic because the
+            timed executor treats prefetches as always timely).
+
+    Returns:
+        One :class:`GebpTimedRun` per core (C panels start at zero).
+    """
+    spec = kernel.spec
+    mr, nr = spec.mr, spec.nr
+    if packed_a0.shape != packed_a1.shape:
+        raise SimulationError("both cores need equally-shaped A blocks")
+    na, kc, _ = packed_a0.shape
+    nb = packed_b.shape[0]
+    h = hierarchy or MemoryHierarchy(chip)
+    if h.module_of(cores[0]) != h.module_of(cores[1]):
+        raise SimulationError("cores must share a module (and its L2)")
+
+    line = chip.l1d.line_bytes
+    elem = 8
+    a_sliver_bytes = kc * mr * elem
+    b_sliver_bytes = kc * nr * elem
+    a_bases = {cores[0]: A_BASE, cores[1]: A_BASE + (1 << 26)}
+    module_l2 = h.l2[h.module_of(cores[0])]
+    for cid in cores:
+        for off in range(0, na * a_sliver_bytes, line):
+            module_l2.access_line((a_bases[cid] + off) // line)
+    if h.l3 is not None:
+        for off in range(0, nb * b_sliver_bytes, line):
+            h.l3.access_line((B_BASE + off) // line)
+    h.reset_stats()
+
+    mc, nc = na * mr, nb * nr
+    panels = {cid: np.zeros((mc, nc)) for cid in cores}
+    cycles = {cid: [] for cid in cores}
+    c_bases = {cores[0]: 0x4000000, cores[1]: 0x5000000}
+    packed = {cores[0]: packed_a0, cores[1]: packed_a1}
+
+    for j in range(nb):
+        for i in range(na):
+            for cid in cores:
+                tile = panels[cid][
+                    i * mr : (i + 1) * mr, j * nr : (j + 1) * nr
+                ]
+                bases = {
+                    A_POINTER.index: a_bases[cid] + i * a_sliver_bytes,
+                    B_POINTER.index: B_BASE + j * b_sliver_bytes,
+                    C_POINTER.index: c_bases[cid]
+                    + (j * nr * mc + i * mr) * elem,
+                }
+                run = run_timed_micro_tile(
+                    kernel,
+                    packed[cid][i],
+                    packed_b[j],
+                    tile,
+                    chip=chip,
+                    hierarchy=h,
+                    core_id=cid,
+                    hw_late=hw_late,
+                    warm_l2=False,
+                    timing_bases=bases,
+                )
+                panels[cid][
+                    i * mr : (i + 1) * mr, j * nr : (j + 1) * nr
+                ] = run.c_tile
+                cycles[cid].append(run.cycles)
+
+    iters = na * nb * kc
+    flops = 2 * mc * nc * kc
+    out = []
+    for cid in cores:
+        total = sum(cycles[cid])
+        out.append(
+            GebpTimedRun(
+                c_panel=panels[cid],
+                cycles=total,
+                cycles_per_iteration=total / iters,
+                efficiency=(flops / total) / chip.core.flops_per_cycle,
+                tile_cycles=cycles[cid],
+            )
+        )
+    return out[0], out[1]
+
+
+def run_timed_gebp(
+    kernel: GeneratedKernel,
+    packed_a: "np.ndarray",
+    packed_b: "np.ndarray",
+    c_panel: Optional["np.ndarray"] = None,
+    chip: ChipParams = XGENE,
+    core_id: int = 0,
+    hw_late: float = 0.25,
+) -> GebpTimedRun:
+    """Execute and time a whole GEBP (layers 5-7) on one simulated core.
+
+    The packed buffers live at their true offsets in the timed address
+    space — A slivers consecutive in one L2-resident block, B slivers
+    consecutive in one panel — so cross-tile cache reuse (the B sliver
+    surviving across the A-sliver loop, A slivers evicting each other) is
+    captured exactly.
+
+    Args:
+        kernel: Generated even-tile kernel.
+        packed_a: Output of :func:`repro.gemm.packing.pack_a`,
+            ``(na, kc, mr)``.
+        packed_b: Output of :func:`repro.gemm.packing.pack_b`,
+            ``(nb, kc, nr)``.
+        c_panel: Initial ``na*mr x nb*nr`` C panel (zeros when omitted).
+        chip: Architecture.
+        core_id: Executing core.
+        hw_late: Hardware-prefetcher lateness.
+    """
+    spec = kernel.spec
+    mr, nr = spec.mr, spec.nr
+    na, kc, mr_in = packed_a.shape
+    nb, kc_b, nr_in = packed_b.shape
+    if (mr_in, nr_in) != (mr, nr) or kc != kc_b:
+        raise SimulationError("packed buffers do not match the kernel")
+    mc, nc = na * mr, nb * nr
+    if c_panel is None:
+        c_panel = np.zeros((mc, nc))
+    c_panel = np.array(c_panel, dtype=np.float64)
+    if c_panel.shape != (mc, nc):
+        raise SimulationError(f"C panel must be {mc}x{nc}")
+
+    h = MemoryHierarchy(chip)
+    # GEBP's precondition: packing placed A in the L2 and B in the L3.
+    line = chip.l1d.line_bytes
+    elem = 8
+    a_bytes_per_sliver = kc * mr * elem
+    b_bytes_per_sliver = kc * nr * elem
+    for off in range(0, na * a_bytes_per_sliver, line):
+        h.l2[h.module_of(core_id)].access_line((A_BASE + off) // line)
+    if h.l3 is not None:
+        for off in range(0, nb * b_bytes_per_sliver, line):
+            h.l3.access_line((B_BASE + off) // line)
+    h.reset_stats()
+
+    tile_cycles: List[int] = []
+    c_base_panel = 0x2000000
+    for j in range(nb):
+        for i in range(na):
+            tile = c_panel[i * mr : (i + 1) * mr, j * nr : (j + 1) * nr]
+            bases = {
+                A_POINTER.index: A_BASE + i * a_bytes_per_sliver,
+                B_POINTER.index: B_BASE + j * b_bytes_per_sliver,
+                C_POINTER.index: c_base_panel
+                + (j * nr * mc + i * mr) * elem,
+            }
+            run = run_timed_micro_tile(
+                kernel,
+                packed_a[i],
+                packed_b[j],
+                tile,
+                chip=chip,
+                hierarchy=h,
+                core_id=core_id,
+                hw_late=hw_late,
+                warm_l2=False,
+                timing_bases=bases,
+            )
+            c_panel[i * mr : (i + 1) * mr, j * nr : (j + 1) * nr] = run.c_tile
+            tile_cycles.append(run.cycles)
+
+    total = sum(tile_cycles)
+    iters = na * nb * kc
+    flops = 2 * mc * nc * kc
+    return GebpTimedRun(
+        c_panel=c_panel,
+        cycles=total,
+        cycles_per_iteration=total / iters,
+        efficiency=(flops / total) / chip.core.flops_per_cycle,
+        tile_cycles=tile_cycles,
+    )

@@ -1,0 +1,124 @@
+"""Tests for the experiment runners and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_SIZES,
+    EfficiencySummary,
+    fig5_surface,
+    fig7_schedule,
+    fig8_codegen,
+    fig13_rotation_ablation,
+    fig14_scaling,
+    fig15_l1_loads,
+    format_series,
+    format_table,
+    percent,
+    sweep,
+    table1_rotation,
+    table3_blocksizes,
+    table4_microbench,
+    table5_efficiency,
+    table6_blocksize_sensitivity,
+    table7_miss_rates,
+)
+
+SMALL = (256, 1024, 2048)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 3.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text
+        # All data rows have the same width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # header+rows vs separator
+
+    def test_format_series(self):
+        text = format_series([1, 2], [("s1", [0.1, 0.2]), ("s2", [9, 8])],
+                             x_label="n")
+        assert "n" in text and "s1" in text
+        assert "0.100" in text
+
+    def test_percent(self):
+        assert percent(0.8725) == "87.2%"
+        assert percent(0.8725, 2) == "87.25%"
+
+
+class TestExperimentRunners:
+    def test_table1_has_all_slots(self):
+        t = table1_rotation()
+        assert set(t) == {"A0", "A1", "A2", "A3", "B0", "B1", "B2"}
+        assert all(len(v) == 8 for v in t.values())
+
+    def test_fig5_surface_shape(self):
+        pts = fig5_surface()
+        assert all(len(p) == 3 for p in pts)
+        assert max(g for _, _, g in pts) == pytest.approx(6.857, abs=1e-3)
+
+    def test_fig7_schedule(self):
+        rep = fig7_schedule()
+        assert rep.rotation_distance_paper == 7
+        assert rep.rotation_distance_solved == 11
+
+    def test_fig8_codegen_text(self):
+        text = fig8_codegen()
+        assert "fmla" in text and "prfm" in text
+
+    def test_table3_rows(self):
+        rows = table3_blocksizes()
+        assert len(rows) == 3
+        assert rows[0] == ("8x6", "8x6x512x56x1920", "8x6x512x24x1792")
+
+    def test_table4_rows(self):
+        rows = table4_microbench()
+        assert len(rows) == 7
+        assert all(0 < r.model_efficiency <= 1 for r in rows)
+
+    def test_table5_structure(self):
+        rows = table5_efficiency(sizes=SMALL)
+        assert len(rows) == 8  # 4 kernels x 2 thread counts
+        assert all(isinstance(r, EfficiencySummary) for r in rows)
+        assert all(0 < r.average <= r.peak <= 1 for r in rows)
+
+    def test_sweep_lengths(self):
+        results = sweep("OpenBLAS-8x6", 1, SMALL)
+        assert [r.m for r in results] == list(SMALL)
+
+    def test_fig13_structure(self):
+        data = fig13_rotation_ablation(sizes=SMALL)
+        assert set(data) == {"serial", "parallel"}
+        for curves in data.values():
+            assert set(curves) == {"OpenBLAS-8x6", "OpenBLAS-8x6w/oRR"}
+
+    def test_fig14_thread_keys(self):
+        data = fig14_scaling(sizes=SMALL)
+        assert set(data) == {1, 2, 4, 8}
+
+    def test_table6_rows(self):
+        rows = table6_blocksize_sensitivity(sizes=SMALL)
+        assert len(rows) == 6
+        settings = {r[0] for r in rows}
+        assert settings == {"serial", "8 threads"}
+
+    def test_fig15_keys(self):
+        data = fig15_l1_loads(sizes=SMALL)
+        assert len(data) == 6
+        for vals in data.values():
+            assert vals == sorted(vals)  # cubic growth => monotone
+
+    def test_table7_rows(self):
+        rows = table7_miss_rates()
+        assert len(rows) == 6
+        for _k, _t, rate, paper in rows:
+            assert 0 < rate < 0.15
+            assert not math.isnan(paper)
+
+    def test_default_sizes_match_paper_range(self):
+        assert DEFAULT_SIZES[0] == 256
+        assert DEFAULT_SIZES[-1] == 6400

@@ -1,0 +1,67 @@
+"""Tests for the two-level (no-L3) mobile preset across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.arch import MOBILE_SOC
+from repro.blocking import solve_cache_blocking
+from repro.gemm import dgemm, numpy_dgemm, parallel_dgemm
+from repro.memory import MemoryHierarchy
+from repro.sim import GemmSimulator, analyze_residency
+
+RNG = np.random.default_rng(21)
+
+
+class TestMobilePreset:
+    def test_topology(self):
+        assert MOBILE_SOC.l3 is None
+        assert len(MOBILE_SOC.cache_levels) == 2
+        assert MOBILE_SOC.modules == 4  # private L2 per core
+        assert MOBILE_SOC.core.peak_flops == pytest.approx(3.6e9)
+
+    def test_hierarchy_two_levels(self):
+        h = MemoryHierarchy(MOBILE_SOC)
+        res = h.access_line(0, 1)
+        assert res.level_hit == 3  # DRAM directly behind L2
+        assert h.l3 is None
+
+    def test_blocking_derivation(self):
+        """kc still follows eq. (15) (same L1 as X-Gene -> kc = 512); mc
+        grows with the larger private L2; nc falls back to the pragmatic
+        bound since no L3 binds it."""
+        blk = solve_cache_blocking(MOBILE_SOC, 8, 6)
+        assert blk.kc == 512
+        assert blk.mc > 56  # 512 KB private L2 vs X-Gene's shared 256 KB
+        assert blk.nc % 6 == 0
+
+    def test_residency_without_l3(self):
+        blk = solve_cache_blocking(MOBILE_SOC, 8, 6)
+        res = analyze_residency(MOBILE_SOC, blk, threads=1)
+        assert res.b_sliver_level == 1
+        assert res.a_block_level == 2
+        assert res.b_panel_level == 3  # i.e. DRAM on a two-level chip
+
+    def test_simulation_bands(self):
+        sim = GemmSimulator(MOBILE_SOC)
+        p1 = sim.simulate("OpenBLAS-8x6", 1024, 1024, 1024, threads=1)
+        p4 = sim.simulate("OpenBLAS-8x6", 1024, 1024, 1024, threads=4)
+        assert 0.6 < p1.efficiency < 0.95
+        assert p4.gflops > 2.5 * p1.gflops  # scales despite one DRAM bridge
+
+    def test_functional_gemm_with_mobile_blocking(self):
+        blk = solve_cache_blocking(MOBILE_SOC, 8, 6)
+        m = n = k = 96
+        a = np.asfortranarray(RNG.standard_normal((m, k)))
+        b = np.asfortranarray(RNG.standard_normal((k, n)))
+        c = np.asfortranarray(RNG.standard_normal((m, n)))
+        got = dgemm(a, b, c.copy(order="F"), blocking=blk)
+        assert np.allclose(got, numpy_dgemm(a, b, c), atol=1e-10)
+
+    def test_parallel_on_mobile_chip(self):
+        m, n, k = 80, 70, 60
+        a = np.asfortranarray(RNG.standard_normal((m, k)))
+        b = np.asfortranarray(RNG.standard_normal((k, n)))
+        c = np.asfortranarray(RNG.standard_normal((m, n)))
+        got = parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                             chip=MOBILE_SOC)
+        assert np.allclose(got, numpy_dgemm(a, b, c), atol=1e-10)

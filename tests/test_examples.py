@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs to completion and prints the
+facts it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "8x6x512x56x1920" in out
+        assert "max |err|" in out
+        assert "91.5%" in out
+
+    def test_block_size_analysis(self):
+        out = run_example("block_size_analysis.py")
+        assert "gamma = 6.857" in out
+        assert "PREFA = 1024" in out
+        assert "8x6x512x24x1792" in out
+
+    def test_kernel_codegen(self):
+        out = run_example("kernel_codegen.py")
+        assert "paper cycle min CL->NF distance: 7" in out
+        assert "fmla v8.2d" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py")
+        assert "ATLAS-5x5" in out
+        assert "serial sizes reused" in out
+
+    def test_custom_architecture(self):
+        out = run_example("custom_architecture.py")
+        assert "hypothetical-armv8-16core" in out
+        assert "register blocking: 8x6" in out
+
+    def test_linpack_motif(self):
+        out = run_example("linpack_motif.py")
+        assert "PASS" in out
+        assert "trailing update" in out
+
+    def test_sgemm_study(self):
+        out = run_example("sgemm_study.py")
+        assert "12x8" in out
+        assert "gamma 9.60" in out
+
+    def test_cache_occupancy(self):
+        out = run_example("cache_occupancy.py")
+        assert "way occupancy by stream" in out
+        assert "miss rate without them" in out

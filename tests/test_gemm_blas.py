@@ -1,0 +1,73 @@
+"""Tests for the BLAS-convention interface (transposes, syrk)."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CacheBlocking
+from repro.errors import GemmError
+from repro.gemm.blas import gemm, syrk
+
+RNG = np.random.default_rng(7)
+BLK = CacheBlocking(mr=8, nr=6, kc=32, mc=24, nc=24, k1=1, k2=1, k3=1)
+
+
+def rand(m, n):
+    return np.asfortranarray(RNG.standard_normal((m, n)))
+
+
+class TestGemmTranspose:
+    @pytest.mark.parametrize("ta,tb", [("N", "N"), ("T", "N"),
+                                       ("N", "T"), ("T", "T")])
+    def test_all_transpose_combinations(self, ta, tb):
+        m, n, k = 37, 29, 41
+        a = rand(m, k) if ta == "N" else rand(k, m)
+        b = rand(k, n) if tb == "N" else rand(n, k)
+        c = rand(m, n)
+        aa = a if ta == "N" else a.T
+        bb = b if tb == "N" else b.T
+        got = gemm(ta, tb, 1.5, a, b, 0.5, c.copy(order="F"), blocking=BLK)
+        assert np.allclose(got, 1.5 * aa @ bb + 0.5 * c, atol=1e-10)
+
+    def test_lowercase_accepted(self):
+        a, b, c = rand(8, 8), rand(8, 8), rand(8, 8)
+        got = gemm("t", "n", 1.0, a, b, 0.0, c.copy(order="F"), blocking=BLK)
+        assert np.allclose(got, a.T @ b, atol=1e-11)
+
+    def test_threads(self):
+        m, n, k = 50, 40, 30
+        a, b, c = rand(k, m), rand(k, n), rand(m, n)
+        got = gemm("T", "N", 1.0, a, b, 1.0, c.copy(order="F"),
+                   blocking=BLK, threads=4)
+        assert np.allclose(got, a.T @ b + c, atol=1e-10)
+
+    def test_invalid_trans(self):
+        a, b, c = rand(4, 4), rand(4, 4), rand(4, 4)
+        with pytest.raises(GemmError):
+            gemm("C", "N", 1.0, a, b, 1.0, c)
+
+    def test_nonconformant_after_transpose(self):
+        a, b, c = rand(4, 5), rand(4, 5), rand(4, 5)
+        with pytest.raises(GemmError):
+            gemm("N", "N", 1.0, a, b, 1.0, c)
+
+
+class TestSyrk:
+    @pytest.mark.parametrize("uplo", ["U", "L"])
+    @pytest.mark.parametrize("trans", ["N", "T"])
+    def test_matches_definition(self, uplo, trans):
+        a = rand(20, 12)
+        n = 20 if trans == "N" else 12
+        c = rand(n, n)
+        c = np.asfortranarray((c + c.T) / 2)  # symmetric input
+        got = syrk(uplo, trans, 2.0, a, 0.5, c.copy(order="F"), blocking=BLK)
+        aa = a if trans == "N" else a.T
+        want = 2.0 * aa @ aa.T + 0.5 * c
+        assert np.allclose(got, want, atol=1e-10)
+        assert np.allclose(got, got.T, atol=1e-10)  # exactly symmetric
+
+    def test_validation(self):
+        a = rand(6, 4)
+        with pytest.raises(GemmError):
+            syrk("X", "N", 1.0, a, 1.0, rand(6, 6))
+        with pytest.raises(GemmError):
+            syrk("U", "N", 1.0, a, 1.0, rand(5, 5))

@@ -1,0 +1,133 @@
+"""Tests for the GEMM-layered Level-3 routines (trsm, symm, trmm)."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CacheBlocking
+from repro.errors import GemmError
+from repro.gemm import symm, trmm, trsm
+
+RNG = np.random.default_rng(64)
+BLK = CacheBlocking(mr=8, nr=6, kc=32, mc=24, nc=24, k1=1, k2=1, k3=1)
+
+
+def lower(n, strong_diag=True):
+    a = np.tril(RNG.standard_normal((n, n)))
+    if strong_diag:
+        a += 0.3 * n * np.eye(n)
+    return a
+
+
+def upper(n, strong_diag=True):
+    a = np.triu(RNG.standard_normal((n, n)))
+    if strong_diag:
+        a += 0.3 * n * np.eye(n)
+    return a
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("n,m,nb", [(10, 3, 4), (64, 20, 16),
+                                        (100, 7, 32), (33, 33, 40)])
+    def test_lower_solve(self, n, m, nb):
+        a = lower(n)
+        b = RNG.standard_normal((n, m))
+        x = trsm("L", "L", "N", 1.0, a, b, nb=nb, blocking=BLK)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    @pytest.mark.parametrize("n,m,nb", [(10, 3, 4), (64, 20, 16),
+                                        (100, 7, 32)])
+    def test_upper_solve(self, n, m, nb):
+        a = upper(n)
+        b = RNG.standard_normal((n, m))
+        x = trsm("L", "U", "N", 1.0, a, b, nb=nb, blocking=BLK)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_unit_diagonal_ignores_stored_diag(self):
+        n = 48
+        strict = np.tril(RNG.standard_normal((n, n)), -1)
+        stored = strict + np.diag(RNG.standard_normal(n) * 3.0)
+        b = RNG.standard_normal((n, 5))
+        x = trsm("L", "L", "U", 1.0, stored, b, nb=16)
+        assert np.allclose((strict + np.eye(n)) @ x, b, atol=1e-9)
+
+    def test_alpha(self):
+        n = 20
+        a = lower(n)
+        b = RNG.standard_normal((n, 4))
+        x = trsm("L", "L", "N", -2.0, a, b, nb=8)
+        assert np.allclose(a @ x, -2.0 * b, atol=1e-9)
+
+    def test_matches_numpy_solve(self):
+        n = 80
+        a = lower(n)
+        b = RNG.standard_normal((n, 10))
+        x = trsm("L", "L", "N", 1.0, a, b, nb=24)
+        assert np.allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_input_not_modified(self):
+        a = lower(16)
+        b = RNG.standard_normal((16, 4))
+        b0 = b.copy()
+        trsm("L", "L", "N", 1.0, a, b, nb=8)
+        assert np.array_equal(b, b0)
+
+    def test_validation(self):
+        with pytest.raises(GemmError):
+            trsm("R", "L", "N", 1.0, lower(4), np.zeros((4, 2)))
+        with pytest.raises(GemmError):
+            trsm("L", "X", "N", 1.0, lower(4), np.zeros((4, 2)))
+        with pytest.raises(GemmError):
+            trsm("L", "L", "N", 1.0, np.zeros((3, 4)), np.zeros((3, 2)))
+        with pytest.raises(GemmError):
+            trsm("L", "L", "N", 1.0, lower(4), np.zeros((5, 2)))
+        with pytest.raises(GemmError):
+            trsm("L", "L", "N", 1.0, lower(4), np.zeros((4, 2)), nb=0)
+
+
+class TestSymm:
+    @pytest.mark.parametrize("uplo", ["L", "U"])
+    def test_left(self, uplo):
+        n, m = 30, 12
+        a = RNG.standard_normal((n, n))
+        b = RNG.standard_normal((n, m))
+        c = RNG.standard_normal((n, m))
+        got = symm("L", uplo, 2.0, a, b, 0.5, c.copy(order="F"),
+                   blocking=BLK)
+        tri = np.tril(a) if uplo == "L" else np.triu(a)
+        full = tri + tri.T - np.diag(np.diag(a))
+        assert np.allclose(got, 2.0 * full @ b + 0.5 * c, atol=1e-10)
+
+    def test_right(self):
+        n, m = 18, 25
+        a = RNG.standard_normal((n, n))
+        b = RNG.standard_normal((m, n))
+        c = RNG.standard_normal((m, n))
+        got = symm("R", "L", 1.0, a, b, 1.0, c.copy(order="F"), blocking=BLK)
+        tri = np.tril(a)
+        full = tri + tri.T - np.diag(np.diag(a))
+        assert np.allclose(got, b @ full + c, atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(GemmError):
+            symm("L", "L", 1.0, np.zeros((3, 4)), np.zeros((3, 2)), 1.0,
+                 np.zeros((3, 2)))
+
+
+class TestTrmm:
+    @pytest.mark.parametrize("uplo", ["L", "U"])
+    @pytest.mark.parametrize("diag", ["N", "U"])
+    def test_multiply(self, uplo, diag):
+        n, m = 50, 9
+        a = lower(n) if uplo == "L" else upper(n)
+        b = RNG.standard_normal((n, m))
+        got = trmm("L", uplo, diag, 1.5, a, b, nb=16, blocking=BLK)
+        tri = np.tril(a) if uplo == "L" else np.triu(a)
+        if diag == "U":
+            tri = tri - np.diag(np.diag(tri)) + np.eye(n)
+        assert np.allclose(got, 1.5 * tri @ b, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(GemmError):
+            trmm("L", "L", "N", 1.0, np.zeros((3, 4)), np.zeros((3, 2)))
+        with pytest.raises(GemmError):
+            trmm("L", "L", "N", 1.0, lower(4), np.zeros(4))

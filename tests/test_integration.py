@@ -1,0 +1,130 @@
+"""Cross-level integration tests: the simulator stack agrees with itself.
+
+Each test exercises at least two independently-implemented levels of the
+system and asserts their agreement — the reproduction's internal
+consistency checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import XGENE
+from repro.blocking import CacheBlocking, solve_cache_blocking
+from repro.gemm import GemmTrace, dgemm, pack_a, pack_b
+from repro.kernels import get_variant
+from repro.sim import (
+    GemmSimulator,
+    run_timed_gebp,
+    simulate_gebp_cache,
+    synthesize_trace,
+)
+
+RNG = np.random.default_rng(123)
+
+
+class TestCostModelVsTimedExecution:
+    def test_per_iteration_cycles_agree(self):
+        """The analytic cost model's per-iteration kernel cycles and the
+        cycle-by-cycle timed GEBP agree within 15%."""
+        sim = GemmSimulator()
+        spec = sim._resolve("OpenBLAS-8x6")
+        # Cost model: interference + stream fills for a small GEBP.
+        kc = 64
+        blk = CacheBlocking(8, 6, kc, 24, 18, 1, 2, 1)
+        perf = sim.simulate(
+            "OpenBLAS-8x6", 24, 18, kc, threads=1, blocking=blk
+        )
+        model_per_iter = perf.breakdown["kernel"] + perf.breakdown["fill"]
+        tiles = 3 * 3
+        model_per_iter /= tiles * kc
+
+        kernel = get_variant("OpenBLAS-8x6")
+        a = RNG.standard_normal((24, kc))
+        b = RNG.standard_normal((kc, 18))
+        timed = run_timed_gebp(kernel, pack_a(a, 8), pack_b(b, 6))
+        assert timed.cycles_per_iteration == pytest.approx(
+            model_per_iter, rel=0.15
+        )
+
+    def test_kernel_ordering_consistent_across_levels(self):
+        """Cost model and timed execution order the kernels identically."""
+        sim = GemmSimulator()
+        model_effs = {}
+        timed_effs = {}
+        for name in ("OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4"):
+            model_effs[name] = sim.simulate(
+                name, 2048, 2048, 2048
+            ).efficiency
+            kernel = get_variant(name)
+            kc = kernel.plan.unroll * 16
+            a = RNG.standard_normal((kc, kernel.spec.mr))
+            b = RNG.standard_normal((kc, kernel.spec.nr))
+            from repro.sim import run_timed_micro_tile
+
+            timed_effs[name] = run_timed_micro_tile(kernel, a, b).efficiency
+        model_order = sorted(model_effs, key=model_effs.get)
+        timed_order = sorted(timed_effs, key=timed_effs.get)
+        assert model_order == timed_order
+
+
+class TestTraceConsistency:
+    def test_simulating_functional_trace_equals_synthetic(self):
+        """Feeding the cost model a trace recorded by the real DGEMM gives
+        the same prediction as the synthesized trace."""
+        m, n, k = 200, 150, 120
+        blk = CacheBlocking(8, 6, 64, 24, 48, 1, 2, 1)
+        sim = GemmSimulator()
+        real = GemmTrace()
+        dgemm(
+            np.asfortranarray(RNG.standard_normal((m, k))),
+            np.asfortranarray(RNG.standard_normal((k, n))),
+            np.asfortranarray(RNG.standard_normal((m, n))),
+            blocking=blk,
+            trace=real,
+        )
+        p_real = sim.simulate("OpenBLAS-8x6", m, n, k, blocking=blk,
+                              trace=real)
+        p_synth = sim.simulate("OpenBLAS-8x6", m, n, k, blocking=blk)
+        assert p_real.cycles == pytest.approx(p_synth.cycles)
+        assert p_real.l1_loads == pytest.approx(p_synth.l1_loads)
+
+
+class TestCacheSimVsCostModel:
+    def test_l1_load_accounting_agrees(self):
+        """The analytic L1-load count (Fig. 15) matches the event-accurate
+        cache replay's demand-load count for the same GEBP, to within the
+        C-tile and packing terms it additionally includes."""
+        blk = solve_cache_blocking(XGENE, 8, 6)
+        spec = get_variant("OpenBLAS-8x6").spec
+        nc_slice = 36
+        replay = simulate_gebp_cache(spec, blk, nc_slice=nc_slice)
+        tiles = (blk.mc // 8) * (nc_slice // 6)
+        analytic_kernel_loads = tiles * blk.kc * 7
+        assert replay.kernel_loads == analytic_kernel_loads
+        # Total demand loads = kernel + C loads.
+        assert replay.l1_loads == analytic_kernel_loads + tiles * 24
+
+
+class TestFullStack:
+    def test_derive_generate_execute_predict(self):
+        """The whole pipeline end to end: derive blocking, run functional
+        DGEMM against numpy, predict performance in a sane band."""
+        blocking = solve_cache_blocking(XGENE, 8, 6, threads=1)
+        assert str(blocking) == "8x6x512x56x1920"
+
+        m = n = k = 160
+        a = np.asfortranarray(RNG.standard_normal((m, k)))
+        b = np.asfortranarray(RNG.standard_normal((k, n)))
+        c = np.asfortranarray(RNG.standard_normal((m, n)))
+        out = dgemm(a, b, c.copy(order="F"), blocking=blocking)
+        assert np.allclose(out, a @ b + c, atol=1e-10)
+
+        perf = GemmSimulator().simulate("OpenBLAS-8x6", m, n, k)
+        assert 0.5 < perf.efficiency < 0.95
+        assert perf.flops == 2 * m * n * k
+
+    def test_synthetic_trace_flops_equal_functional(self):
+        for m, n, k in [(64, 64, 64), (100, 50, 75)]:
+            blk = CacheBlocking(8, 6, 32, 16, 12, 1, 1, 1)
+            t = synthesize_trace(m, n, k, blk)
+            assert t.flops == 2 * m * n * k

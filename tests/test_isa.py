@@ -1,0 +1,245 @@
+"""Unit tests for the A64 ISA subset: registers, instructions, assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import (
+    Fmla,
+    Ldr,
+    Nop,
+    PrefetchTarget,
+    Prfm,
+    Program,
+    Str,
+    VLane,
+    VReg,
+    XReg,
+    format_program,
+    parse_line,
+    parse_program,
+    parse_vreg,
+    parse_xreg,
+)
+
+
+class TestRegisters:
+    def test_vreg_str(self):
+        assert str(VReg(8)) == "v8"
+        assert VReg(8).q_name == "q8"
+        assert VReg(8).as_2d() == "v8.2d"
+
+    def test_vreg_bounds(self):
+        VReg(0)
+        VReg(31)
+        with pytest.raises(AssemblyError):
+            VReg(32)
+        with pytest.raises(AssemblyError):
+            VReg(-1)
+
+    def test_lane(self):
+        lane = VReg(4).lane(1)
+        assert str(lane) == "v4.d[1]"
+        with pytest.raises(AssemblyError):
+            VReg(4).lane(2)
+
+    def test_xreg_bounds(self):
+        XReg(0)
+        XReg(30)
+        with pytest.raises(AssemblyError):
+            XReg(31)
+
+    def test_parse_vreg_forms(self):
+        assert parse_vreg("v3") == VReg(3)
+        assert parse_vreg("q3") == VReg(3)
+        assert parse_vreg("v3.2d") == VReg(3)
+
+    def test_parse_vreg_rejects_garbage(self):
+        with pytest.raises(AssemblyError):
+            parse_vreg("w3")
+
+    def test_parse_xreg(self):
+        assert parse_xreg("x14") == XReg(14)
+        with pytest.raises(AssemblyError):
+            parse_xreg("v14")
+
+
+class TestInstructions:
+    def test_ldr_reads_writes(self):
+        i = Ldr(dst=VReg(1), base=XReg(14))
+        assert i.reads() == frozenset({XReg(14)})
+        assert i.writes() == frozenset({VReg(1), XReg(14)})
+        assert i.is_load and not i.is_fma
+        assert i.flops == 0
+
+    def test_ldr_str_text(self):
+        assert str(Ldr(dst=VReg(1), base=XReg(14))) == "ldr q1, [x14], #16"
+        assert str(Str(src=VReg(2), base=XReg(9))) == "str q2, [x9], #16"
+
+    def test_fmla_reads_writes(self):
+        i = Fmla(acc=VReg(8), multiplicand=VReg(0), multiplier=VLane(VReg(4), 0))
+        assert i.reads() == frozenset({VReg(8), VReg(0), VReg(4)})
+        assert i.writes() == frozenset({VReg(8)})
+        assert i.flops == 4
+        assert str(i) == "fmla v8.2d, v0.2d, v4.d[0]"
+
+    def test_fmla_rejects_acc_aliasing(self):
+        with pytest.raises(AssemblyError):
+            Fmla(acc=VReg(0), multiplicand=VReg(0),
+                 multiplier=VLane(VReg(4), 0))
+        with pytest.raises(AssemblyError):
+            Fmla(acc=VReg(4), multiplicand=VReg(0),
+                 multiplier=VLane(VReg(4), 0))
+
+    def test_prfm(self):
+        i = Prfm(target=PrefetchTarget.PLDL1KEEP, base=XReg(14), offset=1024)
+        assert i.is_prefetch
+        assert i.writes() == frozenset()
+        assert str(i) == "prfm PLDL1KEEP, [x14, #1024]"
+        assert PrefetchTarget.PLDL1KEEP.level == 1
+        assert PrefetchTarget.PLDL2KEEP.level == 2
+
+
+class TestAssembler:
+    def test_parse_ldr(self):
+        i = parse_line("ldr q1,[x14],#16")
+        assert isinstance(i, Ldr)
+        assert i.dst == VReg(1) and i.base == XReg(14)
+        assert i.post_increment == 16
+
+    def test_parse_fmla(self):
+        i = parse_line("fmla v8.2d, v0.2d, v4.d[0]")
+        assert isinstance(i, Fmla)
+        assert i.acc == VReg(8)
+
+    def test_parse_prfm_with_symbolic_hex_offset(self):
+        i = parse_line("prfm PLDL1KEEP, [x14,#0x400]")
+        assert isinstance(i, Prfm)
+        assert i.offset == 1024
+
+    def test_parse_comment_and_blank(self):
+        assert parse_line("   // just a comment") is None
+        assert parse_line("") is None
+
+    def test_parse_trailing_comment(self):
+        i = parse_line("ldr q1,[x14],#16 //ARMv8-64bit load instruction")
+        assert isinstance(i, Ldr)
+
+    def test_parse_nop(self):
+        assert isinstance(parse_line("nop"), Nop)
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(AssemblyError):
+            parse_line("madd x0, x1, x2, x3")
+
+    def test_parse_program_reports_line_numbers(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            parse_program("ldr q1,[x14],#16\nbogus")
+
+    def test_roundtrip_paper_snippet(self):
+        # The Fig. 8 snippet of the paper (prefetch offsets made concrete).
+        src = """
+            ldr q1,[x14],#16        // ARMv8-64bit load instruction
+            fmla v8.2d, v0.2d, v4.d[0]   // NEON FMA instruction
+            fmla v9.2d, v0.2d, v4.d[1]
+            fmla v10.2d, v0.2d, v5.d[0]
+            ldr q2,[x14], #16
+            fmla v11.2d, v0.2d, v5.d[1]
+            fmla v12.2d, v0.2d, v6.d[0]
+            fmla v13.2d, v0.2d, v6.d[1]
+            ldr q7,[x15], #16
+            prfm PLDL1KEEP, [x14,#1024]  // Prefetch A to L1 Cache
+            prfm PLDL2KEEP, [x15,#24576] // Prefetch B to L2 Cache
+        """
+        prog = parse_program(src)
+        assert len(prog) == 11
+        text = format_program(prog)
+        again = parse_program(text)
+        assert again == prog
+
+
+class TestProgram:
+    def _small_kernel(self):
+        p = Program(name="demo")
+        p.append(Ldr(dst=VReg(0), base=XReg(14)))
+        for k in range(4):
+            p.append(Fmla(acc=VReg(8 + k), multiplicand=VReg(0),
+                          multiplier=VLane(VReg(4), k % 2)))
+        return p
+
+    def test_counts(self):
+        p = self._small_kernel()
+        assert p.num_fmla == 4
+        assert p.num_loads == 1
+        assert p.flops == 16
+        assert len(p) == 5
+
+    def test_ldr_fmla_ratio_reduced(self):
+        p = self._small_kernel()
+        assert p.ldr_fmla_ratio == (1, 4)
+
+    def test_ldr_fmla_ratio_empty(self):
+        assert Program(name="empty").ldr_fmla_ratio == (0, 0)
+
+    def test_arithmetic_fraction(self):
+        p = self._small_kernel()
+        assert p.arithmetic_fraction == pytest.approx(4 / 5)
+
+    def test_to_text_parses_back(self):
+        p = self._small_kernel()
+        assert parse_program(p.to_text()) == p.instructions
+
+
+class TestVectorForms:
+    """Full-vector FMLA and FADDP (the k-vectorized kernel's forms)."""
+
+    def test_fmla_vec_reads_writes(self):
+        from repro.isa import FmlaVec
+
+        i = FmlaVec(acc=VReg(8), multiplicand=VReg(0), multiplier=VReg(5))
+        assert i.reads() == frozenset({VReg(8), VReg(0), VReg(5)})
+        assert i.writes() == frozenset({VReg(8)})
+        assert i.flops == 4
+        assert str(i) == "fmla v8.2d, v0.2d, v5.2d"
+
+    def test_fmla_vec_aliasing_rejected(self):
+        from repro.isa import FmlaVec
+
+        with pytest.raises(AssemblyError):
+            FmlaVec(acc=VReg(0), multiplicand=VReg(0), multiplier=VReg(5))
+
+    def test_faddp(self):
+        from repro.isa import Faddp
+
+        i = Faddp(dst=VReg(7), first=VReg(7), second=VReg(8))
+        assert i.reads() == frozenset({VReg(7), VReg(8)})
+        assert i.writes() == frozenset({VReg(7)})
+        assert i.flops == 2
+        assert str(i) == "faddp v7.2d, v7.2d, v8.2d"
+
+    def test_parse_vector_forms(self):
+        from repro.isa import Faddp, FmlaVec
+
+        assert isinstance(parse_line("fmla v8.2d, v0.2d, v5.2d"), FmlaVec)
+        assert isinstance(parse_line("faddp v7.2d, v7.2d, v8.2d"), Faddp)
+
+    def test_roundtrip_vector_forms(self):
+        src = "fmla v8.2d, v0.2d, v5.2d\nfaddp v7.2d, v7.2d, v8.2d"
+        prog = parse_program(src)
+        assert parse_program(format_program(prog)) == prog
+
+    def test_executor_semantics(self):
+        import numpy as np
+
+        from repro.isa import Faddp, FmlaVec
+        from repro.isa.executor import Executor, MachineState, Memory
+
+        st = MachineState()
+        st.vregs[0] = [2.0, 3.0]
+        st.vregs[5] = [10.0, 100.0]
+        st.vregs[8] = [1.0, 1.0]
+        ex = Executor(st, Memory())
+        ex.execute(FmlaVec(acc=VReg(8), multiplicand=VReg(0),
+                           multiplier=VReg(5)))
+        assert np.array_equal(st.v(VReg(8)), [21.0, 301.0])
+        ex.execute(Faddp(dst=VReg(9), first=VReg(8), second=VReg(0)))
+        assert np.array_equal(st.v(VReg(9)), [322.0, 5.0])

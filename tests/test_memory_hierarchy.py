@@ -1,0 +1,187 @@
+"""Unit tests for the multi-core memory hierarchy and TLB."""
+
+import pytest
+
+from repro.arch import XGENE, TlbParams, single_core
+from repro.errors import SimulationError
+from repro.memory import KIND_STORE, MemoryHierarchy, Tlb
+
+
+class TestTopology:
+    def test_counts(self):
+        h = MemoryHierarchy(XGENE)
+        assert len(h.l1) == 8
+        assert len(h.l2) == 4
+        assert h.l3 is not None
+
+    def test_module_mapping(self):
+        h = MemoryHierarchy(XGENE)
+        assert h.module_of(0) == 0
+        assert h.module_of(1) == 0
+        assert h.module_of(2) == 1
+        assert h.module_of(7) == 3
+
+    def test_core_out_of_range(self):
+        h = MemoryHierarchy(XGENE)
+        with pytest.raises(SimulationError):
+            h.access_line(8, 0)
+
+    def test_levels_for_core(self):
+        h = MemoryHierarchy(XGENE)
+        path = h.levels_for(3)
+        assert path[0] is h.l1[3]
+        assert path[1] is h.l2[1]
+        assert path[2] is h.l3
+
+
+class TestAccessWalk:
+    def test_cold_access_reaches_dram(self):
+        h = MemoryHierarchy(XGENE)
+        res = h.access_line(0, 100)
+        assert res.level_hit == 4  # past L1, L2, L3
+        assert res.latency_cycles == XGENE.dram.latency_cycles
+        assert h.dram_accesses == 1
+
+    def test_second_access_hits_l1(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 100)
+        res = h.access_line(0, 100)
+        assert res.level_hit == 1
+        assert res.latency_cycles == XGENE.l1d.latency_cycles
+
+    def test_allocation_fills_all_levels(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 100)
+        assert h.l1[0].contains_line(100)
+        assert h.l2[0].contains_line(100)
+        assert h.l3.contains_line(100)
+
+    def test_sharing_within_module(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 100)    # core 0 warms module 0's L2
+        res = h.access_line(1, 100)  # core 1 shares that L2
+        assert res.level_hit == 2
+
+    def test_sharing_across_modules_via_l3(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 100)
+        res = h.access_line(2, 100)  # different module: miss L1+L2, hit L3
+        assert res.level_hit == 3
+
+    def test_access_bytes_line_split(self):
+        h = MemoryHierarchy(XGENE)
+        results = h.access_bytes(0, 60, 8)  # crosses the 64B boundary
+        assert len(results) == 2
+
+    def test_access_bytes_empty(self):
+        h = MemoryHierarchy(XGENE)
+        assert h.access_bytes(0, 0, 0) == []
+
+    def test_store_traffic_counted(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 5, KIND_STORE)
+        assert h.l1_stats(0).stores == 1
+
+
+class TestPrefetch:
+    def test_prefetch_l1_makes_demand_hit(self):
+        h = MemoryHierarchy(XGENE)
+        h.prefetch_line(0, 42, target_level=1)
+        res = h.access_line(0, 42)
+        assert res.level_hit == 1
+        # Prefetch traffic does not count as demand loads.
+        assert h.l1_stats(0).loads == 1
+        assert h.l1_stats(0).prefetches == 1
+
+    def test_prefetch_l2_skips_l1(self):
+        h = MemoryHierarchy(XGENE)
+        h.prefetch_line(0, 42, target_level=2)
+        assert not h.l1[0].contains_line(42)
+        res = h.access_line(0, 42)
+        assert res.level_hit == 2
+
+    def test_prefetch_bad_level(self):
+        h = MemoryHierarchy(XGENE)
+        with pytest.raises(SimulationError):
+            h.prefetch_line(0, 42, target_level=9)
+
+    def test_prefetch_idempotent(self):
+        h = MemoryHierarchy(XGENE)
+        h.prefetch_line(0, 42, target_level=1)
+        h.prefetch_line(0, 42, target_level=1)
+        assert h.l1_stats(0).prefetches == 2
+        assert h.l1_stats(0).prefetch_misses == 1
+
+
+class TestStatsAndReset:
+    def test_merged_l1_stats(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 1)
+        h.access_line(3, 2)
+        assert h.l1_stats().loads == 2
+
+    def test_flush_then_miss(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 1)
+        h.flush()
+        res = h.access_line(0, 1)
+        assert res.level_hit == 4
+
+    def test_reset_stats(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 1)
+        h.reset_stats()
+        assert h.l1_stats().accesses == 0
+        assert h.dram_accesses == 0
+
+    def test_l2_l3_stats_access(self):
+        h = MemoryHierarchy(XGENE)
+        h.access_line(0, 1)
+        assert h.l2_stats(0).loads == 1
+        assert h.l2_stats().loads == 1
+        assert h.l3_stats().loads == 1
+
+    def test_no_l3_chip(self):
+        chip = single_core(XGENE)
+        import dataclasses
+        chip2 = dataclasses.replace(chip, l3=None)
+        h = MemoryHierarchy(chip2)
+        res = h.access_line(0, 0)
+        assert res.level_hit == 3  # DRAM directly after L2
+        assert h.l3_stats().accesses == 0
+
+
+class TestTlb:
+    def test_tlb_hit_miss(self):
+        t = Tlb(TlbParams(entries=2, page_bytes=4096))
+        assert t.access_page(0) is False
+        assert t.access_page(0) is True
+        t.access_page(1)
+        t.access_page(2)  # evicts page 0 (LRU, capacity 2)
+        assert t.access_page(0) is False
+        assert t.stats.accesses == 5
+
+    def test_tlb_line_to_page(self):
+        t = Tlb(TlbParams(entries=8, page_bytes=4096))
+        t.access_line(0, 64)
+        assert t.access_line(63, 64) is True   # same 4K page
+        assert t.access_line(64, 64) is False  # next page
+
+    def test_hierarchy_with_tlb(self):
+        h = MemoryHierarchy(XGENE, with_tlb=True)
+        res1 = h.access_line(0, 0)
+        assert res1.tlb_miss is True
+        res2 = h.access_line(0, 0)
+        assert res2.tlb_miss is False
+        # TLB miss penalty charged on top of the level latency.
+        assert res1.latency_cycles == (
+            XGENE.dram.latency_cycles + XGENE.tlb.miss_penalty_cycles
+        )
+
+    def test_tlb_reset(self):
+        t = Tlb(TlbParams())
+        t.access_page(1)
+        t.flush()
+        t.reset_stats()
+        assert t.stats.accesses == 0
+        assert t.access_page(1) is False

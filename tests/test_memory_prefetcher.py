@@ -1,0 +1,110 @@
+"""Unit tests for the sequential hardware prefetcher and trace utilities."""
+
+import pytest
+
+from repro.arch import XGENE
+from repro.errors import SimulationError
+from repro.memory import (
+    Access,
+    DropPattern,
+    MemoryHierarchy,
+    SequentialPrefetcher,
+    contiguous_trace,
+    run_trace,
+    strided_matrix_trace,
+)
+
+
+class TestSequentialPrefetcher:
+    def test_covers_a_sequential_stream(self):
+        h = MemoryHierarchy(XGENE)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.0)
+        misses = 0
+        for ln in range(100):
+            if h.access_line(0, ln).level_hit > 1:
+                misses += 1
+            pf.observe(ln, "S")
+        # Only the first line (no prior observation) can miss.
+        assert misses == 1
+        assert pf.stats.issued == 100
+
+    def test_late_rate_one_never_issues(self):
+        h = MemoryHierarchy(XGENE)
+        pf = SequentialPrefetcher(h, core=0, late_rate=1.0)
+        for ln in range(50):
+            pf.observe(ln, "S")
+        assert pf.stats.issued == 0
+        assert pf.stats.late == 50
+
+    def test_same_line_does_not_retrigger(self):
+        h = MemoryHierarchy(XGENE)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.0)
+        for _ in range(10):
+            pf.observe(5, "S")
+        assert pf.stats.observed_lines == 1
+
+    def test_streams_tracked_independently(self):
+        h = MemoryHierarchy(XGENE)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.0)
+        pf.observe(1, "A")
+        pf.observe(100, "B")
+        pf.observe(2, "A")
+        assert pf.stats.observed_lines == 3
+
+    def test_degree_two_fetches_two_ahead(self):
+        h = MemoryHierarchy(XGENE)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.0, degree=2)
+        pf.observe(10, "S")
+        assert h.l1[0].contains_line(11)
+        assert h.l1[0].contains_line(12)
+
+    def test_validation(self):
+        h = MemoryHierarchy(XGENE)
+        with pytest.raises(SimulationError):
+            SequentialPrefetcher(h, 0, degree=0)
+        with pytest.raises(SimulationError):
+            DropPattern(-0.1)
+
+
+class TestDropPattern:
+    @pytest.mark.parametrize("rate", [0.0, 0.25, 0.5, 0.35, 1.0])
+    def test_exact_rate_over_window(self, rate):
+        d = DropPattern(rate)
+        n = 1000
+        drops = sum(d.dropped() for _ in range(n))
+        assert drops == pytest.approx(rate * n, abs=1)
+
+    def test_deterministic(self):
+        a, b = DropPattern(0.3), DropPattern(0.3)
+        assert [a.dropped() for _ in range(50)] == [
+            b.dropped() for _ in range(50)
+        ]
+
+
+class TestTraceUtilities:
+    def test_contiguous_trace_chunks(self):
+        accs = list(contiguous_trace(0, 40))
+        assert [a.address for a in accs] == [0, 16, 32]
+        assert accs[-1].nbytes == 8
+
+    def test_strided_trace_walks_columns(self):
+        accs = list(strided_matrix_trace(0, rows=4, cols=2, ld=100))
+        assert accs[0].address == 0
+        # Second column starts at ld * 8 bytes.
+        assert any(a.address == 800 for a in accs)
+
+    def test_run_trace_counts_levels(self):
+        h = MemoryHierarchy(XGENE)
+        trace = list(contiguous_trace(0, 256))
+        cost = run_trace(h, 0, trace)
+        assert cost.accesses == len(trace)
+        assert sum(cost.level_hits) == cost.accesses
+        # Cold run: the 4 distinct lines miss to DRAM, the rest hit L1.
+        assert cost.level_hits[3] == 4
+
+    def test_run_trace_prefetch_access(self):
+        h = MemoryHierarchy(XGENE)
+        trace = [Access(0, 16, "prefetch", level=1), Access(0, 16, "load")]
+        cost = run_trace(h, 0, trace)
+        assert cost.accesses == 1  # prefetch not counted as demand
+        assert cost.level_hits[0] == 1  # demand hits L1

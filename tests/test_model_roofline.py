@@ -1,0 +1,74 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.arch import XGENE
+from repro.errors import BlockingError
+from repro.model import (
+    Roofline,
+    dram_roofline,
+    gemm_roofline_study,
+    l1_roofline,
+    register_kernel_ratio,
+)
+
+
+class TestRoofline:
+    def test_attainable_min_rule(self):
+        r = Roofline(level_name="t", peak_flops=100.0, bandwidth_words=10.0)
+        assert r.attainable(5.0) == 50.0     # bandwidth side
+        assert r.attainable(20.0) == 100.0   # compute side
+        assert r.ridge_intensity == 10.0
+
+    def test_place_labels_bound(self):
+        r = Roofline(level_name="t", peak_flops=100.0, bandwidth_words=10.0)
+        assert r.place("a", 5.0).bound == "bandwidth"
+        assert r.place("b", 50.0).bound == "compute"
+
+    def test_invalid_intensity(self):
+        r = Roofline(level_name="t", peak_flops=1.0, bandwidth_words=1.0)
+        with pytest.raises(BlockingError):
+            r.attainable(0.0)
+
+    def test_l1_roofline_ridge(self):
+        """One 2-word load per cycle vs 2 flops per cycle: ridge at
+        exactly 1 flop/word — any kernel below gamma=1 starves the pipe."""
+        r = l1_roofline(XGENE)
+        assert r.ridge_intensity == pytest.approx(1.0)
+        assert r.peak_flops == pytest.approx(4.8e9)
+
+    def test_dram_roofline_scales_with_threads(self):
+        r1 = dram_roofline(XGENE, threads=1)
+        r8 = dram_roofline(XGENE, threads=8)
+        assert r8.peak_flops == 8 * r1.peak_flops
+        assert r8.bandwidth_words == r1.bandwidth_words  # shared bridges
+        assert r8.ridge_intensity == 8 * r1.ridge_intensity
+
+
+class TestGemmStudy:
+    def test_all_gebp_layers_compute_bound_serially(self):
+        study = gemm_roofline_study(XGENE, threads=1)
+        for point in study["L1->R"]:
+            if "naive" in point.name:
+                continue
+            assert point.bound == "compute", point.name
+
+    def test_register_kernel_margin(self):
+        """gamma = 6.86 sits ~7x right of the L1 ridge — the headroom the
+        paper's eq. (8) optimization buys."""
+        study = gemm_roofline_study(XGENE)
+        rk = next(p for p in study["L1->R"] if "register" in p.name)
+        assert rk.intensity == pytest.approx(register_kernel_ratio(8, 6))
+        assert rk.intensity > 6 * l1_roofline(XGENE).ridge_intensity
+
+    def test_naive_bandwidth_bound_at_8_threads(self):
+        """The blocking exists for the many-core case: at 8 threads the
+        naive loop's DRAM intensity (~1) caps it at 1/4 of peak, while the
+        blocked algorithm's GEPP intensity clears the ridge."""
+        study = gemm_roofline_study(XGENE, threads=8)
+        naive = next(p for p in study["DRAM"] if "naive" in p.name)
+        blocked = next(p for p in study["DRAM"] if "blocked" in p.name)
+        assert naive.bound == "bandwidth"
+        assert naive.attainable_flops < 0.3 * XGENE.peak_flops_for(8)
+        assert blocked.bound == "compute"
+        assert blocked.attainable_flops == XGENE.peak_flops_for(8)

@@ -1,0 +1,115 @@
+"""Additional scoreboard tests: latency hooks, multi-pipe cores, faddp."""
+
+import pytest
+
+from repro.arch import CoreParams, XGENE
+from repro.isa import Faddp, Fmla, FmlaVec, Ldr, VLane, VReg, XReg
+from repro.pipeline import ScoreboardCore
+
+
+def fmla(acc, src=0, mul=4, lane=0):
+    return Fmla(acc=VReg(acc), multiplicand=VReg(src),
+                multiplier=VLane(VReg(mul), lane))
+
+
+def ldr(dst, base=14):
+    return Ldr(dst=VReg(dst), base=XReg(base))
+
+
+class TestLatencyHook:
+    def test_latency_fn_overrides_per_instruction(self):
+        """A single slow load among fast ones must stall its consumer by
+        the overridden latency."""
+        core = ScoreboardCore(XGENE.core)
+        prog = [ldr(0), fmla(8, src=0)]
+        base = core.run(prog).cycles
+        slow = core.run(
+            prog, latency_fn=lambda i, idx: 100 if idx == 0 else 0
+        ).cycles
+        assert slow >= base + 90
+
+    def test_latency_fn_nonpositive_falls_back(self):
+        core = ScoreboardCore(XGENE.core)
+        prog = [ldr(0), fmla(8, src=0)]
+        base = core.run(prog).cycles
+        same = core.run(prog, latency_fn=lambda i, idx: 0).cycles
+        assert same == base
+
+    def test_latency_fn_indexes_dynamic_stream(self):
+        """With repeat > 1 the index keeps counting across repetitions."""
+        seen = []
+        core = ScoreboardCore(XGENE.core)
+
+        def lat(instr, idx):
+            seen.append(idx)
+            return 0
+
+        core.run([fmla(8), fmla(9)], repeat=3, latency_fn=lat)
+        assert seen == list(range(6))
+
+
+class TestMultiPipeCores:
+    def test_two_fma_pipes_double_throughput(self):
+        one = ScoreboardCore(CoreParams(fma_pipes=1))
+        two = ScoreboardCore(CoreParams(fma_pipes=2))
+        prog = [fmla(8 + i) for i in range(16)]
+        c1 = one.steady_state_cycles_per_iteration(prog)
+        c2 = two.steady_state_cycles_per_iteration(prog)
+        assert c2 == pytest.approx(c1 / 2, rel=0.1)
+
+    def test_two_load_ports(self):
+        one = ScoreboardCore(CoreParams(load_ports=1))
+        two = ScoreboardCore(CoreParams(load_ports=2))
+        prog = [ldr(i % 4, base=10 + i % 4) for i in range(8)]
+        c1 = one.steady_state_cycles_per_iteration(prog)
+        c2 = two.steady_state_cycles_per_iteration(prog)
+        assert c2 < c1
+
+    def test_single_issue_core_serializes(self):
+        narrow = ScoreboardCore(CoreParams(issue_width=1,
+                                           fma_throughput_cycles=1))
+        prog = [fmla(8 + i) for i in range(4)] + [
+            ldr(i, base=10 + i) for i in range(4)
+        ]
+        res = narrow.run(prog)
+        # 8 instructions at 1/cycle minimum.
+        assert res.cycles >= 8
+
+    def test_fma_throughput_one(self):
+        fast = ScoreboardCore(CoreParams(fma_throughput_cycles=1))
+        prog = [fmla(8 + i) for i in range(16)]
+        per = fast.steady_state_cycles_per_iteration(prog)
+        assert per == pytest.approx(16, abs=1.0)
+
+
+class TestFaddpTiming:
+    def test_faddp_uses_fma_pipe(self):
+        """FADDPs serialize on the FP pipe like FMLAs."""
+        core = ScoreboardCore(XGENE.core)
+        prog = [
+            Faddp(dst=VReg(8 + i), first=VReg(0), second=VReg(1))
+            for i in range(8)
+        ]
+        per = core.steady_state_cycles_per_iteration(prog)
+        assert per == pytest.approx(
+            8 * XGENE.core.fma_throughput_cycles, abs=1.0
+        )
+
+    def test_fmla_vec_counts_as_fma(self):
+        core = ScoreboardCore(XGENE.core)
+        prog = [
+            FmlaVec(acc=VReg(8 + i), multiplicand=VReg(0),
+                    multiplier=VReg(1))
+            for i in range(8)
+        ]
+        res = core.run(prog)
+        assert res.flops == 32
+        per = core.steady_state_cycles_per_iteration(prog)
+        assert per == pytest.approx(16, abs=1.0)
+
+    def test_faddp_raw_dependence(self):
+        """An FADDP reading a just-written accumulator pays FMA latency."""
+        core = ScoreboardCore(XGENE.core)
+        prog = [fmla(8), Faddp(dst=VReg(9), first=VReg(8), second=VReg(8))]
+        res = core.run(prog)
+        assert res.raw_stall_cycles > 0

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for rotation, scheduling and the ISA."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.isa import (
+    Fmla,
+    Ldr,
+    Prfm,
+    PrefetchTarget,
+    Str,
+    VLane,
+    VReg,
+    XReg,
+    format_program,
+    parse_program,
+)
+from repro.kernels import (
+    KernelSpec,
+    plan_from_cycle,
+    schedule_body,
+    slot_read_positions,
+    solve_rotation,
+    static_plan,
+)
+
+EVEN_TILES = st.sampled_from([(8, 6), (8, 4), (6, 4), (4, 4), (6, 6), (4, 2)])
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["ldr", "str", "fmla", "prfm"]))
+    if kind == "ldr":
+        return Ldr(dst=VReg(draw(st.integers(0, 31))),
+                   base=XReg(draw(st.integers(0, 30))),
+                   post_increment=draw(st.sampled_from([16, 32, -16])))
+    if kind == "str":
+        return Str(src=VReg(draw(st.integers(0, 31))),
+                   base=XReg(draw(st.integers(0, 30))))
+    if kind == "prfm":
+        return Prfm(target=draw(st.sampled_from(list(PrefetchTarget))),
+                    base=XReg(draw(st.integers(0, 30))),
+                    offset=draw(st.integers(0, 65535)))
+    acc = draw(st.integers(0, 31))
+    mul = draw(st.integers(0, 31).filter(lambda v: v != acc))
+    lane_reg = draw(st.integers(0, 31).filter(lambda v: v != acc))
+    return Fmla(acc=VReg(acc), multiplicand=VReg(mul),
+                multiplier=VLane(VReg(lane_reg), draw(st.integers(0, 1))))
+
+
+class TestAssemblerProperties:
+    @given(st.lists(instructions(), min_size=1, max_size=50))
+    @settings(max_examples=80)
+    def test_roundtrip(self, prog):
+        text = format_program(prog)
+        assert parse_program(text) == prog
+
+
+class TestRotationProperties:
+    @given(EVEN_TILES)
+    @settings(max_examples=12, deadline=None)
+    def test_solved_plan_is_conflict_free(self, tile):
+        mr, nr = tile
+        spec = KernelSpec(mr, nr)
+        plan = solve_rotation(spec)
+        for copy in range(plan.unroll):
+            regs = [plan.register_for(s, copy) for s in spec.slot_names()]
+            assert len(set(regs)) == len(regs)
+
+    @given(EVEN_TILES)
+    @settings(max_examples=12, deadline=None)
+    def test_rotation_at_least_as_good_as_static(self, tile):
+        mr, nr = tile
+        spec = KernelSpec(mr, nr)
+        assert (solve_rotation(spec).min_distance
+                >= static_plan(spec).min_distance)
+
+    @given(EVEN_TILES)
+    @settings(max_examples=12, deadline=None)
+    def test_read_windows_cover_all_fmla(self, tile):
+        mr, nr = tile
+        spec = KernelSpec(mr, nr)
+        reads = slot_read_positions(spec)
+        # Every FMLA position is covered by exactly one A and one B window.
+        assert min(r.first for r in reads.values()) == 0
+        assert max(r.last for r in reads.values()) == spec.fmla_per_iter - 1
+
+    @given(EVEN_TILES)
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_correctness_invariants(self, tile):
+        """Every value's load precedes its first use, streams are in
+        order, and each copy frame contains exactly its load quota."""
+        mr, nr = tile
+        spec = KernelSpec(mr, nr)
+        plan = solve_rotation(spec)
+        sched = schedule_body(spec, plan)
+        # Quota per copy.
+        assert sum(sched.loads_per_copy) == plan.unroll * spec.ldr_per_iter
+        # Load precedes first use of the loaded register's value.
+        reads = slot_read_positions(spec)
+        fpi = spec.fmla_per_iter
+        fmla_positions = {}
+        loads = []
+        global_f = 0
+        for pos, op in enumerate(sched.ops):
+            if op.kind == "fmla":
+                fmla_positions[global_f] = pos
+                global_f += 1
+            elif op.kind == "ldr":
+                loads.append((pos, op))
+        period = len(sched.ops)
+        for pos, op in loads:
+            first_use_f = reads[op.slot].first + op.value_copy * fpi
+            # Find the next occurrence of that fmla at or after the load
+            # (cyclically within/after this body).
+            candidates = [
+                p for f, p in fmla_positions.items()
+                if f % (plan.unroll * fpi) == first_use_f % (plan.unroll * fpi)
+                and p > pos
+            ]
+            use_pos = candidates[0] if candidates else min(
+                p for f, p in fmla_positions.items()
+                if f % (plan.unroll * fpi) == first_use_f % (plan.unroll * fpi)
+            ) + period
+            assert use_pos > pos
+
+    @given(st.permutations(list(range(1, 8))))
+    @settings(max_examples=30, deadline=None)
+    def test_any_cycle_yields_valid_plan(self, rest):
+        from repro.kernels import KERNEL_8X6
+
+        cycle = (0,) + tuple(rest)
+        plan = plan_from_cycle(KERNEL_8X6, cycle)
+        assert 0 < plan.min_distance <= plan.unroll * KERNEL_8X6.fmla_per_iter
+        for copy in range(plan.unroll):
+            regs = [plan.register_for(s, copy)
+                    for s in KERNEL_8X6.slot_names()]
+            assert len(set(regs)) == 7

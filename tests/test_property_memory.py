@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the cache simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import CacheParams, ReplacementPolicy
+from repro.memory import Cache
+
+SMALL_GEOMS = st.sampled_from(
+    [
+        (2, 2, 64),
+        (4, 8, 64),
+        (1, 4, 64),
+        (8, 2, 32),
+        (4, 16, 128),
+    ]
+)
+
+ACCESSES = st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=300)
+
+
+def make_cache(ways, sets, line, policy=ReplacementPolicy.LRU):
+    return Cache(CacheParams(
+        name="P", size_bytes=ways * sets * line, line_bytes=line, ways=ways,
+        latency_cycles=1, replacement=policy,
+    ))
+
+
+class TestCacheInvariants:
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_capacity(self, geom, lines):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        for ln in lines:
+            c.access_line(ln)
+        assert c.resident_lines() <= ways * sets
+
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=60)
+    def test_hits_plus_misses_equals_accesses(self, geom, lines):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        for ln in lines:
+            c.access_line(ln)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses == len(lines)
+
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=60)
+    def test_immediate_rereference_always_hits(self, geom, lines):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        for ln in lines:
+            c.access_line(ln)
+            assert c.access_line(ln) is True
+
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=60)
+    def test_accessed_line_is_resident(self, geom, lines):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        for ln in lines:
+            c.access_line(ln)
+            assert c.contains_line(ln)
+
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=60)
+    def test_working_set_within_ways_never_misses_twice(self, geom, lines):
+        """LRU: if all lines map to distinct slots within capacity per set,
+        each line misses at most once (its cold miss)."""
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        # Restrict to a working set that fits: at most `ways` distinct
+        # lines per set.
+        per_set = {}
+        filtered = []
+        for ln in lines:
+            s = ln % sets
+            bucket = per_set.setdefault(s, set())
+            if ln in bucket or len(bucket) < ways:
+                bucket.add(ln)
+                filtered.append(ln)
+        for ln in filtered:
+            c.access_line(ln)
+        assert c.stats.misses == sum(len(b) for b in per_set.values())
+
+    @given(SMALL_GEOMS, ACCESSES,
+           st.sampled_from([ReplacementPolicy.LRU, ReplacementPolicy.PLRU,
+                            ReplacementPolicy.RANDOM]))
+    @settings(max_examples=60)
+    def test_all_policies_respect_capacity(self, geom, lines, policy):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line, policy)
+        for ln in lines:
+            c.access_line(ln)
+        assert c.resident_lines() <= ways * sets
+        assert c.stats.accesses == len(lines)
+
+    @given(SMALL_GEOMS, ACCESSES)
+    @settings(max_examples=40)
+    def test_flush_forgets_everything(self, geom, lines):
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        for ln in lines:
+            c.access_line(ln)
+        c.flush()
+        assert c.resident_lines() == 0
+        for ln in set(lines):
+            assert not c.contains_line(ln)
+
+    @given(SMALL_GEOMS, st.lists(
+        st.tuples(st.integers(0, 127), st.booleans()),
+        min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_writeback_only_for_dirty(self, geom, ops):
+        """Writebacks never exceed the number of store-touched lines."""
+        ways, sets, line = geom
+        c = make_cache(ways, sets, line)
+        stores = 0
+        for ln, is_store in ops:
+            c.access_line(ln, "store" if is_store else "load")
+            stores += is_store
+        assert c.stats.writebacks <= stores
