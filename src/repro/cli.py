@@ -6,6 +6,7 @@ Exposes the library's main entry points without writing Python::
     repro kernel --variant OpenBLAS-8x6        # Fig. 8 assembly
     repro simulate --kernel OpenBLAS-8x6 --size 4096 --threads 8
     repro microbench                           # Table IV ladder
+    repro pool --threads 4                     # worker-pool engine timing
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
 
 All subcommands print plain text; ``main`` returns a process exit code so
@@ -83,6 +84,68 @@ def _cmd_microbench(_args: argparse.Namespace) -> int:
         [[r.ratio_label, r.model_efficiency * 100, r.paper_efficiency * 100]
          for r in rows],
         title="Table IV ladder",
+    ))
+    return 0
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    """Exercise the persistent-pool parallel engine on real OS threads.
+
+    Times a loop of small-matrix ``parallel_dgemm`` calls under the
+    per-iteration thread-spawn baseline and under the persistent worker
+    pool, then prints the pool's per-thread pack/GEBP counters — the
+    engine's observability hook.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.blocking.cache_blocking import CacheBlocking
+    from repro.gemm import PoolStats, WorkerPool, parallel_dgemm
+
+    if args.reps < 1:
+        raise ReproError(f"--reps must be >= 1, got {args.reps}")
+    if args.size < 1:
+        raise ReproError(f"--size must be >= 1, got {args.size}")
+    rng = np.random.default_rng(0)
+    size = args.size
+    a = np.asfortranarray(rng.standard_normal((size, size)))
+    b = np.asfortranarray(rng.standard_normal((size, size)))
+    c = np.asfortranarray(rng.standard_normal((size, size)))
+    # Small blocks so the loop nest has many barrier steps — the regime
+    # where engine overhead, not arithmetic, dominates.
+    blk = CacheBlocking(mr=8, nr=6, kc=64, mc=24, nc=48, k1=1, k2=2, k3=1)
+
+    def run_loop(pool) -> float:
+        parallel_dgemm(a, b, c.copy(order="F"), threads=args.threads,
+                       blocking=blk, use_os_threads=True, pool=pool)
+        t0 = time.perf_counter()
+        for _ in range(args.reps):
+            parallel_dgemm(a, b, c.copy(order="F"), threads=args.threads,
+                           blocking=blk, use_os_threads=True, pool=pool)
+        return time.perf_counter() - t0
+
+    spawn_s = run_loop("spawn")
+    with WorkerPool(args.threads) as pool:
+        pool_s = run_loop(pool)
+        stats = PoolStats()
+        parallel_dgemm(a, b, c.copy(order="F"), threads=args.threads,
+                       blocking=blk, use_os_threads=True, pool=pool,
+                       stats=stats)
+    print(format_table(
+        ["engine", "total s", "ms/call"],
+        [["spawn-per-iteration", spawn_s, spawn_s / args.reps * 1e3],
+         ["persistent pool", pool_s, pool_s / args.reps * 1e3]],
+        title=f"{size}x{size}x{size}, {args.threads} threads, "
+              f"{args.reps} calls",
+    ))
+    print(f"pool speedup: {spawn_s / pool_s:.2f}x over per-iteration "
+          f"spawning ({stats.steps} barrier steps/call)")
+    print(format_table(
+        ["thread", "packA", "packB", "gebp",
+         "packA ms", "packB ms", "gebp ms"],
+        stats.summary_rows(),
+        title="per-thread counters (one call)",
     ))
     return 0
 
@@ -234,6 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stop", type=int, default=6400)
     p.add_argument("--step", type=int, default=512)
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "pool",
+        help="time the persistent worker pool vs per-iteration spawning "
+             "and show per-thread counters",
+    )
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--size", type=int, default=160)
+    p.add_argument("--reps", type=int, default=10)
+    p.set_defaults(func=_cmd_pool)
 
     p = sub.add_parser("sweep", help="Gflops vs matrix size")
     p.add_argument("--kernels", nargs="+",

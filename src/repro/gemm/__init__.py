@@ -12,6 +12,14 @@ from repro.gemm.packing import (
     unpack_b,
 )
 from repro.gemm.parallel import parallel_dgemm
+from repro.gemm.pool import (
+    PoolStats,
+    ThreadCounters,
+    WorkerPool,
+    close_shared_pool,
+    get_shared_pool,
+)
+from repro.gemm.workspace import GemmWorkspace, get_shared_workspace
 from repro.gemm.blas import gemm, syrk
 from repro.gemm.level3 import symm, trmm, trsm
 from repro.gemm.reference import naive_dgemm, numpy_dgemm
@@ -21,6 +29,13 @@ from repro.gemm.trace import GebpEvent, GemmTrace, PackEvent
 __all__ = [
     "dgemm",
     "parallel_dgemm",
+    "WorkerPool",
+    "PoolStats",
+    "ThreadCounters",
+    "get_shared_pool",
+    "close_shared_pool",
+    "GemmWorkspace",
+    "get_shared_workspace",
     "DEFAULT_BLOCKING",
     "gebp",
     "gess",

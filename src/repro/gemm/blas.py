@@ -13,7 +13,7 @@ cases.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -21,7 +21,9 @@ from repro.blocking.cache_blocking import CacheBlocking
 from repro.errors import GemmError
 from repro.gemm.driver import dgemm
 from repro.gemm.parallel import parallel_dgemm
+from repro.gemm.pool import PoolStats, WorkerPool
 from repro.gemm.trace import GemmTrace
+from repro.gemm.workspace import GemmWorkspace
 
 _VALID_TRANS = {"N", "n", "T", "t"}
 
@@ -46,6 +48,10 @@ def gemm(
     blocking: Optional[CacheBlocking] = None,
     threads: int = 1,
     trace: Optional[GemmTrace] = None,
+    use_os_threads: bool = False,
+    pool: Union[None, str, WorkerPool] = None,
+    workspace: Optional[GemmWorkspace] = None,
+    stats: Optional[PoolStats] = None,
 ) -> "np.ndarray":
     """BLAS-convention GEMM: ``C := alpha*op(A)@op(B) + beta*C``.
 
@@ -58,6 +64,13 @@ def gemm(
         blocking: Optional block sizes.
         threads: Worker count (> 1 uses the layer-3 parallel driver).
         trace: Optional structural trace.
+        use_os_threads: Run partitions on real OS threads via the
+            persistent worker pool (wall-clock mode; identical numerics).
+        pool: Worker-pool selection, forwarded to
+            :func:`~repro.gemm.parallel.parallel_dgemm`.
+        workspace: Packed-buffer cache, forwarded to the drivers.
+        stats: Optional per-thread timing counters
+            (:class:`~repro.gemm.pool.PoolStats`).
 
     Returns:
         The updated C.
@@ -67,11 +80,12 @@ def gemm(
     if threads == 1:
         return dgemm(
             a_eff, b_eff, c, alpha=alpha, beta=beta, blocking=blocking,
-            trace=trace,
+            trace=trace, workspace=workspace,
         )
     return parallel_dgemm(
         a_eff, b_eff, c, threads=threads, alpha=alpha, beta=beta,
-        blocking=blocking, trace=trace,
+        blocking=blocking, trace=trace, use_os_threads=use_os_threads,
+        pool=pool, workspace=workspace, stats=stats,
     )
 
 

@@ -26,6 +26,7 @@ from repro.errors import GemmError
 from repro.gemm.gebp import gebp
 from repro.gemm.packing import pack_a, pack_b
 from repro.gemm.trace import GemmTrace
+from repro.gemm.workspace import GemmWorkspace
 
 #: The paper's headline configuration (Table III, serial).
 DEFAULT_BLOCKING = CacheBlocking(
@@ -54,6 +55,7 @@ def dgemm(
     beta: float = 1.0,
     blocking: Optional[CacheBlocking] = None,
     trace: Optional[GemmTrace] = None,
+    workspace: Optional["GemmWorkspace"] = None,
 ) -> "np.ndarray":
     """Blocked, packed DGEMM: ``C := alpha * A @ B + beta * C``.
 
@@ -65,6 +67,9 @@ def dgemm(
         alpha, beta: Scalars of the BLAS interface.
         blocking: Block sizes; defaults to the paper's 8x6 serial blocking.
         trace: Optional structural trace collector.
+        workspace: Optional :class:`~repro.gemm.workspace.GemmWorkspace`
+            whose cached buffers replace the per-iteration packed-array
+            allocations (numerics are unchanged).
 
     Returns:
         The updated C (same object as ``c`` when possible).
@@ -106,14 +111,24 @@ def dgemm(
             # Pack the kc x nc panel of B (alpha folded into B once).
             b_panel = b[kk : kk + kcur, jj : jj + ncur]
             packed_b = pack_b(
-                b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
+                b_panel,
+                blk.nr,
+                out=None if workspace is None
+                else workspace.b_buffer(kcur, ncur, blk.nr),
             )
+            if alpha != 1.0:
+                packed_b *= alpha
             if trace is not None:
                 trace.record_pack("B", kcur, ncur)
             # Layer 3: ii over M in steps of mc.
             for ii in range(0, m, blk.mc):
                 mcur = min(blk.mc, m - ii)
-                packed_a = pack_a(a[ii : ii + mcur, kk : kk + kcur], blk.mr)
+                packed_a = pack_a(
+                    a[ii : ii + mcur, kk : kk + kcur],
+                    blk.mr,
+                    out=None if workspace is None
+                    else workspace.a_buffer(0, mcur, kcur, blk.mr),
+                )
                 if trace is not None:
                     trace.record_pack("A", mcur, kcur)
                     trace.record_gebp(

@@ -19,7 +19,7 @@ yields the byte stream the simulated kernel would read.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -40,8 +40,46 @@ def num_slivers(extent: int, r: int) -> int:
     return -(-extent // r)
 
 
-def pack_a(a_block: "np.ndarray", mr: int, dtype=np.float64) -> np.ndarray:
+def _packed_out(
+    out: Optional["np.ndarray"],
+    shape: Tuple[int, int, int],
+    dtype,
+    pad: int,
+) -> np.ndarray:
+    """Validate/prepare a destination buffer for a packing routine.
+
+    A fresh buffer is allocated zeroed; a reused one only has its final
+    sliver's ``pad`` padding lanes re-zeroed (every other element is
+    overwritten by the pack), so buffer reuse is exact even when the
+    previous contents were garbage.
+    """
+    if out is None:
+        return np.zeros(shape, dtype=dtype)
+    if out.shape != shape or out.dtype != np.dtype(dtype):
+        raise GemmError(
+            f"out buffer has shape {out.shape}/{out.dtype}, "
+            f"packing needs {shape}/{np.dtype(dtype)}"
+        )
+    if pad:
+        out[-1, :, shape[2] - pad:] = 0.0
+    return out
+
+
+def pack_a(
+    a_block: "np.ndarray",
+    mr: int,
+    dtype=np.float64,
+    out: Optional["np.ndarray"] = None,
+) -> np.ndarray:
     """Pack an ``mc x kc`` block of A into mr-row slivers.
+
+    Args:
+        a_block: The ``mc x kc`` source block.
+        mr: Register-tile rows (sliver height).
+        dtype: Packed element type.
+        out: Optional destination of shape ``(ceil(mc/mr), kc, mr)``;
+            overwritten completely (padding included) and returned,
+            avoiding the per-call allocation.
 
     Returns:
         Array of shape ``(ceil(mc/mr), kc, mr)``: ``out[s, k, i]`` is
@@ -52,7 +90,7 @@ def pack_a(a_block: "np.ndarray", mr: int, dtype=np.float64) -> np.ndarray:
     if mr <= 0:
         raise GemmError("mr must be positive")
     ns = num_slivers(mc, mr)
-    out = np.zeros((ns, kc, mr), dtype=dtype)
+    out = _packed_out(out, (ns, kc, mr), dtype, (-mc) % mr)
     for s in range(ns):
         lo, hi = s * mr, min((s + 1) * mr, mc)
         # out[s, k, i] = A[lo+i, k] -> transpose of the block rows.
@@ -60,8 +98,21 @@ def pack_a(a_block: "np.ndarray", mr: int, dtype=np.float64) -> np.ndarray:
     return out
 
 
-def pack_b(b_panel: "np.ndarray", nr: int, dtype=np.float64) -> np.ndarray:
+def pack_b(
+    b_panel: "np.ndarray",
+    nr: int,
+    dtype=np.float64,
+    out: Optional["np.ndarray"] = None,
+) -> np.ndarray:
     """Pack a ``kc x nc`` panel of B into nr-column slivers.
+
+    Args:
+        b_panel: The ``kc x nc`` source panel.
+        nr: Register-tile columns (sliver width).
+        dtype: Packed element type.
+        out: Optional destination of shape ``(ceil(nc/nr), kc, nr)``;
+            overwritten completely (padding included) and returned,
+            avoiding the per-call allocation.
 
     Returns:
         Array of shape ``(ceil(nc/nr), kc, nr)``: ``out[s, k, j]`` is
@@ -72,7 +123,7 @@ def pack_b(b_panel: "np.ndarray", nr: int, dtype=np.float64) -> np.ndarray:
     if nr <= 0:
         raise GemmError("nr must be positive")
     ns = num_slivers(nc, nr)
-    out = np.zeros((ns, kc, nr), dtype=dtype)
+    out = _packed_out(out, (ns, kc, nr), dtype, (-nc) % nr)
     for s in range(ns):
         lo, hi = s * nr, min((s + 1) * nr, nc)
         out[s, :, : hi - lo] = b_panel[:, lo:hi]

@@ -4,20 +4,38 @@ The paper parallelizes the third loop: every thread receives a different
 ``mc x kc`` block of A while all threads share the same packed ``kc x nc``
 panel of B, which maximizes locality in the shared L3 (where the B panel
 lives). The M dimension is therefore divided round-robin in mc-sized chunks
-across threads.
+across threads. The ``axis="n"`` ablation parallelizes the first loop
+instead: each thread owns whole column panels and packs its own private B.
 
-Threads here are *simulated workers*: partitions execute sequentially (the
-numerical result is identical and deterministic), while the per-thread work
-split is recorded in the trace so the performance simulator can cost each
-core's share and apply the shared-cache and bandwidth effects. A real
-``threading``-based execution mode is available for wall-clock use, since
-numpy releases the GIL inside the micro-kernel products.
+Both axes run on one partitioning/execution core:
+
+- work is split into **barrier-delimited steps** — for ``axis="m"`` one
+  step per ``(jj, kk)`` panel iteration (the shared B panel is packed
+  before the step, every thread then walks its A blocks); for
+  ``axis="n"`` a single step in which each thread processes its private
+  column panels end to end;
+- each step's per-thread closures execute either **inline** (the default:
+  simulated workers — sequential, deterministic, the mode the performance
+  simulator traces) or on **real OS threads** via the persistent
+  :class:`~repro.gemm.pool.WorkerPool` (numpy releases the GIL inside the
+  micro-kernel products, and thread creation is paid once per process
+  instead of once per panel iteration);
+- packed buffers come from a :class:`~repro.gemm.workspace.GemmWorkspace`
+  (shared B panel, per-thread A slivers), so steady-state iterations
+  allocate nothing;
+- trace events go to per-thread buffers merged in logical-thread order
+  after each barrier, making :class:`~repro.gemm.trace.GemmTrace`
+  collection race-free and bit-identical between threaded and sequential
+  execution;
+- threads whose assignment is empty (``threads > ceil(m/mc)``) are never
+  dispatched at all.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,13 +46,82 @@ from repro.errors import GemmError
 from repro.gemm.driver import _validate_operands
 from repro.gemm.gebp import gebp
 from repro.gemm.packing import pack_a, pack_b
+from repro.gemm.pool import PoolStats, WorkerPool, get_shared_pool
 from repro.gemm.trace import GemmTrace
+from repro.gemm.workspace import GemmWorkspace, get_shared_workspace
+
+_clock = time.perf_counter
+
+#: Executor: runs one step's per-thread task closures to completion.
+_Executor = Callable[[Sequence[Callable[[], None]]], None]
 
 
 def _thread_row_blocks(m: int, mc: int, threads: int) -> List[List[int]]:
     """Round-robin assignment of mc-sized row blocks to threads."""
     blocks = list(range(0, m, mc))
     return [blocks[t::threads] for t in range(threads)]
+
+
+def _inline_execute(tasks: Sequence[Callable[[], None]]) -> None:
+    """Simulated workers: run the step's tasks sequentially, in order."""
+    for task in tasks:
+        task()
+
+
+def _spawn_execute(tasks: Sequence[Callable[[], None]]) -> None:
+    """Legacy engine: spawn/join one OS thread per task, every step.
+
+    Kept as the measured baseline for the pool's overhead benchmark
+    (``benchmarks/bench_pool_overhead.py``); select with ``pool="spawn"``.
+    """
+    if len(tasks) == 1:
+        tasks[0]()
+        return
+    errors: List[BaseException] = []
+
+    def trap(task: Callable[[], None]) -> None:
+        try:
+            task()
+        except BaseException as exc:
+            errors.append(exc)
+
+    workers = [threading.Thread(target=trap, args=(t,)) for t in tasks]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    if errors:
+        raise errors[0]
+
+
+def _resolve_executor(
+    use_os_threads: bool,
+    threads: int,
+    pool: Union[None, str, WorkerPool],
+) -> _Executor:
+    """Pick the step executor for this call.
+
+    Inline unless OS threads are requested; with OS threads the shared
+    persistent pool is used by default, an explicit :class:`WorkerPool`
+    when given, or per-step spawning for ``pool="spawn"`` (the overhead
+    baseline).
+    """
+    if not use_os_threads or threads == 1:
+        return _inline_execute
+    if pool == "spawn":
+        return _spawn_execute
+    if pool is None:
+        pool = get_shared_pool(threads)
+    if not isinstance(pool, WorkerPool):
+        raise GemmError(
+            "pool must be None, 'spawn', or a WorkerPool, "
+            f"got {pool!r}"
+        )
+    if pool.threads < threads:
+        raise GemmError(
+            f"pool has {pool.threads} workers, call needs {threads}"
+        )
+    return pool.run
 
 
 def parallel_dgemm(
@@ -49,6 +136,9 @@ def parallel_dgemm(
     trace: Optional[GemmTrace] = None,
     use_os_threads: bool = False,
     axis: str = "m",
+    pool: Union[None, str, WorkerPool] = None,
+    workspace: Optional[GemmWorkspace] = None,
+    stats: Optional[PoolStats] = None,
 ) -> "np.ndarray":
     """Layer-3-parallel DGEMM: ``C := alpha * A @ B + beta * C``.
 
@@ -60,117 +150,32 @@ def parallel_dgemm(
         blocking: Block sizes; derived for ``threads`` on ``chip`` when
             omitted (the paper's eq. (19)/(20) adjustment).
         chip: Architecture used for blocking derivation and trace metadata.
-        trace: Optional structural trace collector.
+        trace: Optional structural trace collector (thread-safe: events
+            are buffered per thread and merged deterministically).
         use_os_threads: Execute partitions on real OS threads (identical
-            numerics; useful only for wall-clock timing).
+            numerics; useful only for wall-clock timing). Honoured by
+            both axes.
         axis: ``"m"`` parallelizes the third loop over A blocks (the
             paper's Fig. 9 choice — one shared B panel in the L3);
             ``"n"`` parallelizes the first loop over column panels (the
             ablation: every thread owns a private B panel, overflowing
             the shared L3).
+        pool: OS-thread engine selection: ``None`` uses the persistent
+            process-wide :class:`~repro.gemm.pool.WorkerPool`; an
+            explicit pool instance is used as given; ``"spawn"`` spawns
+            threads per step (the legacy baseline). Ignored without
+            ``use_os_threads``.
+        workspace: Packed-buffer cache; defaults to the process-wide
+            :class:`~repro.gemm.workspace.GemmWorkspace`, so steady-state
+            panel iterations (and repeated calls) allocate nothing.
+        stats: Optional :class:`~repro.gemm.pool.PoolStats` receiving
+            per-thread pack/GEBP wall-clock counters and step counts.
 
     Returns:
         The updated C.
     """
     if axis not in ("m", "n"):
         raise GemmError("axis must be 'm' (layer 3) or 'n' (layer 1)")
-    if axis == "n":
-        return _parallel_dgemm_axis_n(
-            a, b, c, threads, alpha, beta, blocking, chip, trace
-        )
-    if not 1 <= threads <= chip.cores:
-        raise GemmError(f"threads {threads} out of range 1..{chip.cores}")
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    c_arr = np.asarray(c)
-    if c_arr.dtype != np.float64 or not c_arr.flags.writeable:
-        c_arr = np.array(c_arr, dtype=np.float64)
-    _validate_operands(a, b, c_arr)
-    blk = blocking or solve_cache_blocking(
-        chip, 8, 6, threads=threads
-    )
-    m, k = a.shape
-    _, n = b.shape
-    if trace is not None:
-        trace.m, trace.n, trace.k, trace.threads = m, n, k, threads
-
-    if alpha == 0.0 or k == 0:
-        if beta == 0.0:
-            c_arr[:] = 0.0
-        else:
-            c_arr *= beta
-        return c_arr
-
-    assignments = _thread_row_blocks(m, blk.mc, threads)
-
-    for jj in range(0, n, blk.nc):
-        ncur = min(blk.nc, n - jj)
-        first_k = True
-        for kk in range(0, k, blk.kc):
-            kcur = min(blk.kc, k - kk)
-            if first_k and beta != 1.0:
-                if beta == 0.0:
-                    c_arr[:, jj : jj + ncur] = 0.0
-                else:
-                    c_arr[:, jj : jj + ncur] *= beta
-            b_panel = b[kk : kk + kcur, jj : jj + ncur]
-            packed_b = pack_b(
-                b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
-            )
-            if trace is not None:
-                # B is packed cooperatively; attribute to thread 0.
-                trace.record_pack("B", kcur, ncur, thread=0)
-
-            def work(t: int) -> None:
-                for ii in assignments[t]:
-                    mcur = min(blk.mc, m - ii)
-                    packed_a = pack_a(
-                        a[ii : ii + mcur, kk : kk + kcur], blk.mr
-                    )
-                    if trace is not None:
-                        trace.record_pack("A", mcur, kcur, thread=t)
-                        trace.record_gebp(
-                            mcur, kcur, ncur, thread=t, beta_pass=first_k
-                        )
-                    gebp(
-                        packed_a,
-                        packed_b,
-                        c_arr[ii : ii + mcur, jj : jj + ncur],
-                        blk.mr,
-                        blk.nr,
-                    )
-
-            if use_os_threads and threads > 1:
-                workers = [
-                    threading.Thread(target=work, args=(t,))
-                    for t in range(threads)
-                ]
-                for w in workers:
-                    w.start()
-                for w in workers:
-                    w.join()
-            else:
-                for t in range(threads):
-                    work(t)
-            first_k = False
-    return c_arr
-
-
-def _parallel_dgemm_axis_n(
-    a: "np.ndarray",
-    b: "np.ndarray",
-    c: "np.ndarray",
-    threads: int,
-    alpha: float,
-    beta: float,
-    blocking: Optional[CacheBlocking],
-    chip: ChipParams,
-    trace: Optional[GemmTrace],
-) -> "np.ndarray":
-    """Layer-1 parallelization (the Fig. 9 ablation): column panels are
-    distributed round-robin across threads, each thread packing its own
-    B panel and walking all of A. Numerically identical; the locality
-    difference shows up only on the simulated chip."""
     if not 1 <= threads <= chip.cores:
         raise GemmError(f"threads {threads} out of range 1..{chip.cores}")
     a = np.asarray(a, dtype=np.float64)
@@ -192,40 +197,208 @@ def _parallel_dgemm_axis_n(
             c_arr *= beta
         return c_arr
 
-    col_blocks = list(range(0, n, blk.nc))
-    for t in range(threads):
-        for jj in col_blocks[t::threads]:
-            ncur = min(blk.nc, n - jj)
-            first_k = True
-            for kk in range(0, k, blk.kc):
-                kcur = min(blk.kc, k - kk)
-                if first_k and beta != 1.0:
-                    if beta == 0.0:
-                        c_arr[:, jj : jj + ncur] = 0.0
-                    else:
-                        c_arr[:, jj : jj + ncur] *= beta
-                b_panel = b[kk : kk + kcur, jj : jj + ncur]
-                packed_b = pack_b(
-                    b_panel if alpha == 1.0 else alpha * b_panel, blk.nr
-                )
-                if trace is not None:
-                    trace.record_pack("B", kcur, ncur, thread=t)
-                for ii in range(0, m, blk.mc):
-                    mcur = min(blk.mc, m - ii)
-                    packed_a = pack_a(
-                        a[ii : ii + mcur, kk : kk + kcur], blk.mr
-                    )
-                    if trace is not None:
-                        trace.record_pack("A", mcur, kcur, thread=t)
-                        trace.record_gebp(
-                            mcur, kcur, ncur, thread=t, beta_pass=first_k
-                        )
-                    gebp(
-                        packed_a,
-                        packed_b,
-                        c_arr[ii : ii + mcur, jj : jj + ncur],
-                        blk.mr,
-                        blk.nr,
-                    )
-                first_k = False
+    ws = workspace if workspace is not None else get_shared_workspace()
+    executor = _resolve_executor(use_os_threads, threads, pool)
+    if stats is not None:
+        stats.calls += 1
+    run = _run_axis_m if axis == "m" else _run_axis_n
+    run(a, b, c_arr, threads, alpha, beta, blk, trace, ws, stats, executor)
     return c_arr
+
+
+def _run_axis_m(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c_arr: "np.ndarray",
+    threads: int,
+    alpha: float,
+    beta: float,
+    blk: CacheBlocking,
+    trace: Optional[GemmTrace],
+    ws: GemmWorkspace,
+    stats: Optional[PoolStats],
+    executor: _Executor,
+) -> None:
+    """Layer-3 split: one barrier step per (jj, kk) panel iteration."""
+    m, k = a.shape
+    _, n = b.shape
+    assignments = _thread_row_blocks(m, blk.mc, threads)
+    active = [t for t in range(threads) if assignments[t]]
+
+    for jj in range(0, n, blk.nc):
+        ncur = min(blk.nc, n - jj)
+        first_k = True
+        for kk in range(0, k, blk.kc):
+            kcur = min(blk.kc, k - kk)
+            if first_k and beta != 1.0:
+                if beta == 0.0:
+                    c_arr[:, jj : jj + ncur] = 0.0
+                else:
+                    c_arr[:, jj : jj + ncur] *= beta
+            # The shared B panel, packed before the step (the paper packs
+            # it cooperatively; trace/stats attribute it to thread 0).
+            t0 = _clock() if stats is not None else 0.0
+            packed_b = pack_b(
+                b[kk : kk + kcur, jj : jj + ncur],
+                blk.nr,
+                out=ws.b_buffer(kcur, ncur, blk.nr),
+            )
+            if alpha != 1.0:
+                packed_b *= alpha
+            if stats is not None:
+                counters = stats.thread(0)
+                counters.pack_b_seconds += _clock() - t0
+                counters.pack_b_calls += 1
+            if trace is not None:
+                trace.record_pack("B", kcur, ncur, thread=0)
+
+            local: Optional[Dict[int, GemmTrace]] = (
+                {t: GemmTrace() for t in active}
+                if trace is not None
+                else None
+            )
+
+            def make_task(t: int) -> Callable[[], None]:
+                lt = local[t] if local is not None else None
+                counters = stats.thread(t) if stats is not None else None
+                blocks = assignments[t]
+
+                def task() -> None:
+                    for ii in blocks:
+                        mcur = min(blk.mc, m - ii)
+                        if counters is not None:
+                            t0 = _clock()
+                        packed_a = pack_a(
+                            a[ii : ii + mcur, kk : kk + kcur],
+                            blk.mr,
+                            out=ws.a_buffer(t, mcur, kcur, blk.mr),
+                        )
+                        if counters is not None:
+                            counters.pack_a_seconds += _clock() - t0
+                            counters.pack_a_calls += 1
+                        if lt is not None:
+                            lt.record_pack("A", mcur, kcur, thread=t)
+                            lt.record_gebp(
+                                mcur, kcur, ncur, thread=t, beta_pass=first_k
+                            )
+                        if counters is not None:
+                            t0 = _clock()
+                        gebp(
+                            packed_a,
+                            packed_b,
+                            c_arr[ii : ii + mcur, jj : jj + ncur],
+                            blk.mr,
+                            blk.nr,
+                        )
+                        if counters is not None:
+                            counters.gebp_seconds += _clock() - t0
+                            counters.gebp_calls += 1
+
+                return task
+
+            # Surplus workers (empty assignment) are never dispatched.
+            executor([make_task(t) for t in active])
+            if stats is not None:
+                stats.steps += 1
+            if local is not None:
+                for t in active:
+                    trace.absorb(local[t])
+            first_k = False
+
+
+def _run_axis_n(
+    a: "np.ndarray",
+    b: "np.ndarray",
+    c_arr: "np.ndarray",
+    threads: int,
+    alpha: float,
+    beta: float,
+    blk: CacheBlocking,
+    trace: Optional[GemmTrace],
+    ws: GemmWorkspace,
+    stats: Optional[PoolStats],
+    executor: _Executor,
+) -> None:
+    """Layer-1 split (the Fig. 9 ablation): column panels are distributed
+    round-robin across threads, each thread packing its own private B
+    panel and walking all of A — one barrier step for the whole call,
+    since no state is shared between threads."""
+    m, k = a.shape
+    _, n = b.shape
+    col_blocks = list(range(0, n, blk.nc))
+    assignments = [col_blocks[t::threads] for t in range(threads)]
+    active = [t for t in range(threads) if assignments[t]]
+    local: Optional[Dict[int, GemmTrace]] = (
+        {t: GemmTrace() for t in active} if trace is not None else None
+    )
+
+    def make_task(t: int) -> Callable[[], None]:
+        lt = local[t] if local is not None else None
+        counters = stats.thread(t) if stats is not None else None
+        panels = assignments[t]
+
+        def task() -> None:
+            for jj in panels:
+                ncur = min(blk.nc, n - jj)
+                first_k = True
+                for kk in range(0, k, blk.kc):
+                    kcur = min(blk.kc, k - kk)
+                    if first_k and beta != 1.0:
+                        # This thread owns all of columns jj:jj+ncur.
+                        if beta == 0.0:
+                            c_arr[:, jj : jj + ncur] = 0.0
+                        else:
+                            c_arr[:, jj : jj + ncur] *= beta
+                    if counters is not None:
+                        t0 = _clock()
+                    packed_b = pack_b(
+                        b[kk : kk + kcur, jj : jj + ncur],
+                        blk.nr,
+                        out=ws.b_buffer(kcur, ncur, blk.nr, thread=t),
+                    )
+                    if alpha != 1.0:
+                        packed_b *= alpha
+                    if counters is not None:
+                        counters.pack_b_seconds += _clock() - t0
+                        counters.pack_b_calls += 1
+                    if lt is not None:
+                        lt.record_pack("B", kcur, ncur, thread=t)
+                    for ii in range(0, m, blk.mc):
+                        mcur = min(blk.mc, m - ii)
+                        if counters is not None:
+                            t0 = _clock()
+                        packed_a = pack_a(
+                            a[ii : ii + mcur, kk : kk + kcur],
+                            blk.mr,
+                            out=ws.a_buffer(t, mcur, kcur, blk.mr),
+                        )
+                        if counters is not None:
+                            counters.pack_a_seconds += _clock() - t0
+                            counters.pack_a_calls += 1
+                        if lt is not None:
+                            lt.record_pack("A", mcur, kcur, thread=t)
+                            lt.record_gebp(
+                                mcur, kcur, ncur, thread=t, beta_pass=first_k
+                            )
+                        if counters is not None:
+                            t0 = _clock()
+                        gebp(
+                            packed_a,
+                            packed_b,
+                            c_arr[ii : ii + mcur, jj : jj + ncur],
+                            blk.mr,
+                            blk.nr,
+                        )
+                        if counters is not None:
+                            counters.gebp_seconds += _clock() - t0
+                            counters.gebp_calls += 1
+                    first_k = False
+
+        return task
+
+    executor([make_task(t) for t in active])
+    if stats is not None:
+        stats.steps += 1
+    if local is not None:
+        for t in active:
+            trace.absorb(local[t])

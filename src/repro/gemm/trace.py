@@ -45,7 +45,14 @@ class GebpEvent:
 
 @dataclass
 class GemmTrace:
-    """Accumulated events of one DGEMM execution."""
+    """Accumulated events of one DGEMM execution.
+
+    A trace instance is not itself thread-safe: the parallel engine gives
+    every worker a private per-step buffer (also a ``GemmTrace``) and
+    merges the buffers through :meth:`absorb` in logical-thread order
+    after each barrier, so the final event sequence is deterministic and
+    identical to sequential execution regardless of OS-thread timing.
+    """
 
     m: int = 0
     n: int = 0
@@ -62,6 +69,11 @@ class GemmTrace:
     ) -> None:
         self.gebps.append(GebpEvent(mc, kc, nc, thread, beta_pass))
 
+    def absorb(self, other: "GemmTrace") -> None:
+        """Append ``other``'s events (a per-thread buffer) to this trace."""
+        self.packs.extend(other.packs)
+        self.gebps.extend(other.gebps)
+
     @property
     def flops(self) -> int:
         """Useful flops implied by the GEBP events (2*m*k*n each)."""
@@ -74,6 +86,16 @@ class GemmTrace:
     @property
     def packed_b_elements(self) -> int:
         return sum(p.rows * p.cols for p in self.packs if p.operand == "B")
+
+    @property
+    def active_threads(self) -> List[int]:
+        """Thread ids that performed any GEBP work, in id order.
+
+        With ``threads > ceil(m/mc)`` the surplus workers receive no row
+        blocks; they are never dispatched and must not be counted as
+        active cores when deriving per-core efficiency from a trace.
+        """
+        return sorted({g.thread for g in self.gebps})
 
     def events_for_thread(self, thread: int) -> Tuple[List[PackEvent], List[GebpEvent]]:
         return (

@@ -49,6 +49,19 @@ class TestCli:
         assert "OpenBLAS-8x6" in out
         assert "256" in out
 
+    def test_pool(self, capsys):
+        assert main(["pool", "--threads", "2", "--size", "48",
+                     "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "persistent pool" in out
+        assert "per-thread counters" in out
+        assert "speedup" in out
+
+    def test_pool_bad_thread_count_is_clean_error(self, capsys):
+        assert main(["pool", "--threads", "99", "--size", "32",
+                     "--reps", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_bad_thread_count_is_clean_error(self, capsys):
         assert main(["simulate", "--threads", "99"]) == 1
         assert "error:" in capsys.readouterr().err

@@ -1,0 +1,389 @@
+"""Tests for the persistent parallel engine: worker pool, packed-buffer
+workspace, thread-safe tracing, and the threaded DGEMM bugfixes."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.blocking import CacheBlocking
+from repro.errors import GemmError
+from repro.gemm import (
+    GemmTrace,
+    GemmWorkspace,
+    PoolStats,
+    WorkerPool,
+    close_shared_pool,
+    dgemm,
+    get_shared_pool,
+    get_shared_workspace,
+    numpy_dgemm,
+    pack_a,
+    pack_b,
+    parallel_dgemm,
+)
+
+RNG = np.random.default_rng(777)
+
+SMALL_BLOCKING = CacheBlocking(
+    mr=8, nr=6, kc=64, mc=24, nc=48, k1=1, k2=2, k3=1
+)
+
+#: Edge shapes: m % mc != 0, n % nr != 0, k % kc != 0 for SMALL_BLOCKING.
+EDGE_SHAPES = [(25, 49, 65), (97, 50, 130), (23, 7, 64)]
+
+
+def fmat(m, n):
+    return np.asfortranarray(RNG.standard_normal((m, n)))
+
+
+class TestWorkerPool:
+    def test_runs_every_task_once(self):
+        hits = [0] * 4
+        def make(i):
+            def task():
+                hits[i] += 1
+            return task
+        with WorkerPool(4) as pool:
+            pool.run([make(i) for i in range(4)])
+        assert hits == [1, 1, 1, 1]
+
+    def test_tasks_run_on_distinct_threads(self):
+        idents = [None] * 3
+        def make(i):
+            def task():
+                idents[i] = threading.get_ident()
+            return task
+        with WorkerPool(3) as pool:
+            pool.run([make(i) for i in range(3)])
+        assert len(set(idents)) == 3
+        assert threading.get_ident() not in idents
+
+    def test_barrier_reuse_across_steps(self):
+        """Each run() is a barrier: step n+1 sees all of step n's writes."""
+        log = []
+        with WorkerPool(2) as pool:
+            for step in range(50):
+                pool.run([lambda s=step: log.append(s)] * 2)
+        assert log == [s for s in range(50) for _ in range(2)]
+        assert pool.steps_dispatched == 50
+
+    def test_none_tasks_leave_workers_idle(self):
+        hits = []
+        with WorkerPool(3) as pool:
+            pool.run([lambda: hits.append(0), None, lambda: hits.append(2)])
+        assert sorted(hits) == [0, 2]
+
+    def test_empty_step_is_noop(self):
+        with WorkerPool(2) as pool:
+            pool.run([])
+            pool.run([None, None])
+            assert pool.steps_dispatched == 0
+
+    def test_worker_exception_reraised_at_barrier(self):
+        def boom():
+            raise ValueError("kernel fault")
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="kernel fault"):
+                pool.run([boom, lambda: None])
+            # The pool survives an error step and keeps working.
+            done = []
+            pool.run([lambda: done.append(1), lambda: done.append(1)])
+            assert done == [1, 1]
+
+    def test_too_many_tasks_rejected(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(GemmError):
+                pool.run([lambda: None] * 3)
+
+    def test_close_is_idempotent_and_final(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(GemmError):
+            pool.run([lambda: None])
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(GemmError):
+            WorkerPool(0)
+
+    def test_shared_pool_is_reused_and_grows(self):
+        close_shared_pool()
+        try:
+            p2 = get_shared_pool(2)
+            assert get_shared_pool(2) is p2
+            assert get_shared_pool(1) is p2  # big enough already
+            p4 = get_shared_pool(4)
+            assert p4 is not p2 and p4.threads == 4
+            assert p2.closed
+        finally:
+            close_shared_pool()
+
+
+class TestWorkspace:
+    def test_buffers_are_cached_per_slot(self):
+        ws = GemmWorkspace()
+        b1 = ws.a_buffer(0, 24, 64, 8)
+        b2 = ws.a_buffer(0, 24, 64, 8)
+        assert b1 is b2
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_threads_and_shapes_get_distinct_buffers(self):
+        ws = GemmWorkspace()
+        assert ws.a_buffer(0, 24, 64, 8) is not ws.a_buffer(1, 24, 64, 8)
+        assert ws.a_buffer(0, 24, 64, 8) is not ws.a_buffer(0, 16, 64, 8)
+        assert ws.b_buffer(64, 48, 6) is not ws.b_buffer(64, 48, 6, thread=0)
+
+    def test_bytes_held_and_clear(self):
+        ws = GemmWorkspace()
+        ws.b_buffer(64, 48, 6)  # 8 slivers x 64 x 6 doubles
+        assert ws.bytes_held == 8 * 64 * 6 * 8
+        ws.clear()
+        assert ws.bytes_held == 0 and ws.num_buffers == 0
+
+    def test_shared_workspace_is_a_singleton(self):
+        assert get_shared_workspace() is get_shared_workspace()
+
+
+class TestPackingOut:
+    def test_pack_a_out_matches_fresh(self):
+        a = fmat(21, 13)  # ragged: 21 % 8 != 0
+        fresh = pack_a(a, 8)
+        buf = np.full(fresh.shape, np.nan)  # dirty buffer must be ignored
+        packed = pack_a(a, 8, out=buf)
+        assert packed is buf
+        assert np.array_equal(packed, fresh)
+
+    def test_pack_b_out_matches_fresh(self):
+        b = fmat(13, 31)  # ragged: 31 % 6 != 0
+        fresh = pack_b(b, 6)
+        buf = np.full(fresh.shape, np.nan)
+        packed = pack_b(b, 6, out=buf)
+        assert packed is buf
+        assert np.array_equal(packed, fresh)
+
+    def test_out_shape_mismatch_raises(self):
+        with pytest.raises(GemmError):
+            pack_a(fmat(16, 4), 8, out=np.zeros((1, 4, 8)))
+        with pytest.raises(GemmError):
+            pack_b(fmat(4, 12), 6, out=np.zeros((2, 4, 6), dtype=np.float32))
+
+    def test_padding_rezeroed_on_reuse(self):
+        buf = pack_a(fmat(10, 3), 8)
+        buf[:] = 7.0  # poison, including the padding lanes
+        packed = pack_a(fmat(10, 3), 8, out=buf)
+        assert np.all(packed[1, :, 2:] == 0.0)
+
+
+class TestUseOsThreadsForwarding:
+    """use_os_threads used to be silently dropped for axis='n'."""
+
+    @pytest.mark.parametrize("axis", ["m", "n"])
+    def test_both_axes_honour_os_threads(self, axis):
+        m, n, k = 96, 120, 70
+        a, b, c = fmat(m, k), fmat(k, n), fmat(m, n)
+        seq = parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                             blocking=SMALL_BLOCKING, axis=axis)
+        par = parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                             blocking=SMALL_BLOCKING, axis=axis,
+                             use_os_threads=True)
+        assert np.array_equal(seq, par)
+
+    @pytest.mark.parametrize("axis", ["m", "n"])
+    def test_os_threads_actually_execute_off_main(self, axis):
+        seen = set()
+        orig = threading.get_ident
+
+        class SpyPool(WorkerPool):
+            def run(self, fns):
+                def wrap(fn):
+                    if fn is None:
+                        return None
+                    def task():
+                        seen.add(orig())
+                        fn()
+                    return task
+                super().run([wrap(fn) for fn in fns])
+
+        m, n, k = 96, 96, 64  # 4 row blocks / 2 column panels
+        a, b, c = fmat(m, k), fmat(k, n), fmat(m, n)
+        with SpyPool(4) as pool:
+            parallel_dgemm(a, b, c, threads=4, blocking=SMALL_BLOCKING,
+                           axis=axis, use_os_threads=True, pool=pool)
+        assert seen and orig() not in seen
+
+    def test_bad_pool_argument_raises(self):
+        a, b, c = fmat(8, 8), fmat(8, 8), fmat(8, 8)
+        with pytest.raises(GemmError):
+            parallel_dgemm(a, b, c, threads=2, use_os_threads=True,
+                           pool="fork")
+
+    def test_undersized_pool_rejected(self):
+        a, b, c = fmat(64, 64), fmat(64, 64), fmat(64, 64)
+        with WorkerPool(2) as pool:
+            with pytest.raises(GemmError):
+                parallel_dgemm(a, b, c, threads=4, use_os_threads=True,
+                               pool=pool, blocking=SMALL_BLOCKING)
+
+
+class TestTraceThreadSafety:
+    """Regression: trace.record_* used to race under OS threads; events
+    are now buffered per thread and merged deterministically."""
+
+    @pytest.mark.parametrize("axis", ["m", "n"])
+    @pytest.mark.parametrize("engine", ["pool", "spawn"])
+    def test_threaded_trace_identical_to_sequential(self, axis, engine):
+        m, n, k = 120, 144, 130  # several blocks along every dimension
+        a, b, c = fmat(m, k), fmat(k, n), fmat(m, n)
+        seq_trace = GemmTrace()
+        parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                       blocking=SMALL_BLOCKING, axis=axis, trace=seq_trace)
+        for _ in range(3):  # racy code passes sometimes; repeat
+            par_trace = GemmTrace()
+            parallel_dgemm(
+                a, b, c.copy(order="F"), threads=4,
+                blocking=SMALL_BLOCKING, axis=axis, trace=par_trace,
+                use_os_threads=True,
+                pool="spawn" if engine == "spawn" else None,
+            )
+            assert par_trace.packs == seq_trace.packs
+            assert par_trace.gebps == seq_trace.gebps
+
+
+class TestEmptyWorkers:
+    """threads > ceil(m/mc): surplus workers must be skipped entirely."""
+
+    def test_surplus_threads_do_no_work(self):
+        m = 2 * SMALL_BLOCKING.mc  # exactly two row blocks
+        a, b, c = fmat(m, 64), fmat(64, 48), fmat(m, 48)
+        trace, stats = GemmTrace(), PoolStats()
+        parallel_dgemm(a, b, c, threads=8, blocking=SMALL_BLOCKING,
+                       trace=trace, stats=stats, use_os_threads=True)
+        assert trace.threads == 8
+        assert trace.active_threads == [0, 1]
+        assert stats.active_threads == [0, 1]
+        assert set(stats.counters) == {0, 1}
+
+    def test_surplus_threads_never_dispatched_to_pool(self):
+        calls = []
+
+        class CountingPool(WorkerPool):
+            def run(self, fns):
+                calls.append(sum(1 for fn in fns if fn is not None))
+                super().run(fns)
+
+        m = 3 * SMALL_BLOCKING.mc
+        a, b, c = fmat(m, 64), fmat(64, 48), fmat(m, 48)
+        with CountingPool(8) as pool:
+            parallel_dgemm(a, b, c, threads=8, blocking=SMALL_BLOCKING,
+                           use_os_threads=True, pool=pool)
+        assert calls and all(n == 3 for n in calls)
+
+    def test_axis_n_surplus_threads(self):
+        n = SMALL_BLOCKING.nc  # a single column panel for many threads
+        a, b, c = fmat(30, 40), fmat(40, n), fmat(30, n)
+        trace = GemmTrace()
+        parallel_dgemm(a, b, c, threads=6, blocking=SMALL_BLOCKING,
+                       axis="n", trace=trace, use_os_threads=True)
+        assert trace.active_threads == [0]
+
+
+class TestPoolStats:
+    def test_counters_cover_all_events(self):
+        m, n, k = 96, 96, 128
+        a, b, c = fmat(m, k), fmat(k, n), fmat(m, n)
+        trace, stats = GemmTrace(), PoolStats()
+        parallel_dgemm(a, b, c, threads=4, blocking=SMALL_BLOCKING,
+                       trace=trace, stats=stats)
+        n_a = sum(ct.pack_a_calls for ct in stats.counters.values())
+        n_b = sum(ct.pack_b_calls for ct in stats.counters.values())
+        n_g = sum(ct.gebp_calls for ct in stats.counters.values())
+        assert n_a == len([p for p in trace.packs if p.operand == "A"])
+        assert n_b == len([p for p in trace.packs if p.operand == "B"])
+        assert n_g == len(trace.gebps)
+        assert stats.calls == 1
+        assert stats.steps == -(-n // SMALL_BLOCKING.nc) * \
+            -(-k // SMALL_BLOCKING.kc)
+        assert all(ct.busy_seconds >= 0.0 for ct in stats.counters.values())
+
+    def test_reset(self):
+        stats = PoolStats()
+        stats.thread(0).gebp_calls = 3
+        stats.steps = 5
+        stats.reset()
+        assert not stats.counters and stats.steps == 0
+
+    def test_summary_rows_sorted_by_thread(self):
+        stats = PoolStats()
+        stats.thread(2).gebp_calls = 1
+        stats.thread(0).gebp_calls = 2
+        rows = stats.summary_rows()
+        assert [r[0] for r in rows] == [0, 2]
+
+
+class TestWorkspaceReuse:
+    def test_no_new_buffers_in_steady_state(self):
+        ws = GemmWorkspace()
+        a, b, c = fmat(96, 128), fmat(128, 96), fmat(96, 96)
+        parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                       blocking=SMALL_BLOCKING, workspace=ws)
+        misses_after_first = ws.misses
+        for _ in range(3):
+            parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                           blocking=SMALL_BLOCKING, workspace=ws)
+        assert ws.misses == misses_after_first  # all later packs hit
+        assert ws.hits > 0
+
+    def test_serial_driver_accepts_workspace(self):
+        ws = GemmWorkspace()
+        a, b, c = fmat(70, 90), fmat(90, 60), fmat(70, 60)
+        plain = dgemm(a, b, c.copy(order="F"), blocking=SMALL_BLOCKING)
+        cached = dgemm(a, b, c.copy(order="F"), blocking=SMALL_BLOCKING,
+                       workspace=ws)
+        again = dgemm(a, b, c.copy(order="F"), blocking=SMALL_BLOCKING,
+                      workspace=ws)
+        assert np.array_equal(plain, cached)
+        assert np.array_equal(plain, again)
+        assert ws.num_buffers > 0
+
+    def test_results_independent_of_workspace_contents(self):
+        ws = GemmWorkspace()
+        a, b, c = fmat(50, 70), fmat(70, 50), fmat(50, 50)
+        first = parallel_dgemm(a, b, c.copy(order="F"), threads=2,
+                               blocking=SMALL_BLOCKING, workspace=ws)
+        # Same workspace, different operands, then the originals again.
+        parallel_dgemm(fmat(50, 70), fmat(70, 50), fmat(50, 50), threads=2,
+                       blocking=SMALL_BLOCKING, workspace=ws)
+        second = parallel_dgemm(a, b, c.copy(order="F"), threads=2,
+                                blocking=SMALL_BLOCKING, workspace=ws)
+        assert np.array_equal(first, second)
+
+
+class TestThreadedParity:
+    """Satellite: axis x OS-threads x beta (NaN-seeded C for beta=0) on
+    edge shapes. Threaded execution must be bit-identical to the serial
+    blocked driver (same operation sequence per C element) and match the
+    numpy reference to tolerance."""
+
+    @pytest.mark.parametrize("shape", EDGE_SHAPES)
+    @pytest.mark.parametrize("beta", [0.0, 1.0, 0.5])
+    @pytest.mark.parametrize("use_os_threads", [False, True])
+    @pytest.mark.parametrize("axis", ["m", "n"])
+    def test_parity(self, shape, beta, use_os_threads, axis):
+        m, n, k = shape
+        a, b = fmat(m, k), fmat(k, n)
+        if beta == 0.0:
+            c = np.full((m, n), np.nan, order="F")  # must not leak through
+            ref = numpy_dgemm(a, b, np.zeros((m, n), order="F"))
+        else:
+            c = fmat(m, n)
+            ref = numpy_dgemm(a, b, c, beta=beta)
+        serial = dgemm(a, b, c.copy(order="F"), beta=beta,
+                       blocking=SMALL_BLOCKING)
+        got = parallel_dgemm(a, b, c.copy(order="F"), threads=3, beta=beta,
+                             blocking=SMALL_BLOCKING, axis=axis,
+                             use_os_threads=use_os_threads)
+        assert np.array_equal(got, serial)  # bit-for-bit vs serial driver
+        assert np.allclose(got, ref, atol=1e-10)
+        assert not np.isnan(got).any()

@@ -103,6 +103,38 @@ class TestDgemmProperties:
         assert np.allclose(got, 2.0 * c)
 
 
+class TestThreadedEngineProperties:
+    """The persistent-pool engine is bit-equivalent to the serial driver
+    for any axis/engine/beta combination on arbitrary (edge) shapes."""
+
+    @given(DIMS, DIMS, DIMS,
+           st.integers(1, 8),
+           st.sampled_from(["m", "n"]),
+           st.booleans(),
+           st.sampled_from([0.0, 1.0, 0.5]),
+           st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_threaded_bitwise_equals_serial(
+        self, m, n, k, threads, axis, use_os_threads, beta, seed
+    ):
+        blk = CacheBlocking(mr=8, nr=6, kc=16, mc=16, nc=12, k1=1, k2=1,
+                            k3=1)
+        a, b = rand(m, k, seed), rand(k, n, seed + 1)
+        if beta == 0.0:
+            # BLAS semantics: C is overwritten, NaN must not leak.
+            c = np.asfortranarray(np.full((m, n), np.nan))
+        else:
+            c = rand(m, n, seed + 2)
+        serial = dgemm(a, b, c.copy(order="F"), beta=beta, blocking=blk)
+        got = parallel_dgemm(a, b, c.copy(order="F"), threads=threads,
+                             beta=beta, blocking=blk, axis=axis,
+                             use_os_threads=use_os_threads)
+        assert np.array_equal(got, serial)
+        assert not np.isnan(got).any()
+        assert np.allclose(got, a @ b + (0.0 if beta == 0.0 else beta * c),
+                           atol=1e-9)
+
+
 class TestTraceEquivalence:
     """The synthetic trace equals the functional trace for any shape,
     thread count and parallelization axis."""
