@@ -40,7 +40,7 @@ def run_ablation():
                 KERNEL_8X6,
                 blk,
                 chip=chip,
-                hierarchy=MemoryHierarchy(chip),
+                hierarchy=MemoryHierarchy(chip, seed=0),
                 prefetch=prefetch,
                 hw_late=0.25 if prefetch else 1.0,
             )

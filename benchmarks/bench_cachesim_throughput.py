@@ -1,0 +1,177 @@
+"""Throughput of the batched cache-sim engine vs the scalar oracle.
+
+Replays the Table VII GEBP streams (all three paper kernels at 1 and 8
+threads) through both engines on freshly built, identical hierarchies and
+checks three things:
+
+- every counter (`GebpCacheResult`, i.e. the per-level ``CacheStats``
+  views) is **bit-identical** between the engines;
+- the batched engine never silently falls back to the scalar per-access
+  path on the LRU L1 (``batched_fallback_accesses == 0``);
+- the aggregate speedup clears the floor the engine exists for
+  (>= 10x on the full replay; >= 3x in ``--smoke`` mode, whose short
+  slice amortizes less).
+
+Runs standalone (``python bench_cachesim_throughput.py [--smoke]`` — the
+CI smoke gate) or under pytest-benchmark with the rest of the harness.
+Trace compilation is done up front: the compile-once / replay-many split
+is the intended usage, and it keeps the comparison about replay cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from conftest import save_report
+
+from repro.analysis import format_table
+from repro.arch import XGENE
+from repro.blocking import solve_cache_blocking
+from repro.kernels.kernel_spec import PAPER_KERNELS
+from repro.memory import MemoryHierarchy
+from repro.sim import gebp_traces, simulate_gebp_cache
+
+FULL_POINTS = (
+    ("8x6", 1), ("8x6", 8), ("8x4", 1), ("8x4", 8), ("4x4", 1), ("4x4", 8),
+)
+SMOKE_POINTS = (("8x6", 1), ("4x4", 8))
+SMOKE_NC_SLICE = 12
+
+MIN_SPEEDUP_FULL = 10.0
+MIN_SPEEDUP_SMOKE = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputRow:
+    """One replay point, both engines."""
+
+    kernel: str
+    threads: int
+    accesses: int
+    scalar_s: float
+    batched_s: float
+    identical: bool
+    l1_fallback: int
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_s / self.batched_s
+
+    @property
+    def batched_rate(self) -> float:
+        return self.accesses / self.batched_s
+
+
+def _spec(name: str):
+    return next(s for s in PAPER_KERNELS if s.name == name)
+
+
+def run_throughput(
+    points: Sequence[Tuple[str, int]] = FULL_POINTS,
+    nc_slice: Optional[int] = None,
+) -> List[ThroughputRow]:
+    """Time both engines over ``points``; each point on fresh hierarchies."""
+    line = XGENE.l1d.line_bytes
+    rows = []
+    for name, threads in points:
+        spec = _spec(name)
+        blk = solve_cache_blocking(XGENE, spec.mr, spec.nr, threads=threads)
+        warm, main_trace, _ = gebp_traces(
+            spec, blk, chip=XGENE, nc_slice=nc_slice
+        )
+        accesses = warm.line_count(line) + main_trace.line_count(line)
+        results, timings, fallback = {}, {}, {}
+        for engine in ("scalar", "batched"):
+            h = MemoryHierarchy(XGENE, seed=0)
+            t0 = time.perf_counter()
+            results[engine] = simulate_gebp_cache(
+                spec, blk, chip=XGENE, hierarchy=h,
+                nc_slice=nc_slice, engine=engine,
+            )
+            timings[engine] = time.perf_counter() - t0
+            fallback[engine] = h.l1[0].batched_fallback_accesses
+        rows.append(ThroughputRow(
+            kernel=name,
+            threads=threads,
+            accesses=accesses,
+            scalar_s=timings["scalar"],
+            batched_s=timings["batched"],
+            identical=dataclasses.astuple(results["scalar"])
+            == dataclasses.astuple(results["batched"]),
+            l1_fallback=fallback["batched"],
+        ))
+    return rows
+
+
+def aggregate_speedup(rows: Sequence[ThroughputRow]) -> float:
+    return sum(r.scalar_s for r in rows) / sum(r.batched_s for r in rows)
+
+
+def check_rows(rows: Sequence[ThroughputRow], min_speedup: float) -> None:
+    for r in rows:
+        assert r.identical, (
+            f"{r.kernel} t={r.threads}: engines disagree on counters"
+        )
+        assert r.l1_fallback == 0, (
+            f"{r.kernel} t={r.threads}: batched engine fell back to the "
+            f"scalar path on {r.l1_fallback} L1 accesses"
+        )
+    agg = aggregate_speedup(rows)
+    assert agg >= min_speedup, (
+        f"aggregate speedup {agg:.1f}x below the {min_speedup:.0f}x floor"
+    )
+
+
+def format_report(rows: Sequence[ThroughputRow], label: str) -> str:
+    text = format_table(
+        ["kernel", "T", "line accesses", "scalar s", "batched s",
+         "speedup", "batched acc/s"],
+        [[r.kernel, r.threads, r.accesses, r.scalar_s, r.batched_s,
+          r.speedup, r.batched_rate] for r in rows],
+        title=f"Batched vs scalar cache-sim replay ({label})",
+    )
+    total = sum(r.accesses for r in rows)
+    return (
+        f"{text}\naggregate: {total} accesses, "
+        f"{aggregate_speedup(rows):.1f}x speedup, all counters "
+        f"bit-identical"
+    )
+
+
+def test_cachesim_throughput(benchmark, report_dir):
+    rows = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    text = format_report(rows, "Table VII points")
+    save_report(report_dir, "cachesim_throughput", text)
+    check_rows(rows, MIN_SPEEDUP_FULL)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short slice, relaxed speedup floor, no results file "
+             "(the CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = run_throughput(SMOKE_POINTS, nc_slice=SMOKE_NC_SLICE)
+        print(format_report(rows, "smoke"))
+        check_rows(rows, MIN_SPEEDUP_SMOKE)
+    else:
+        rows = run_throughput()
+        text = format_report(rows, "Table VII points")
+        import pathlib
+
+        out = pathlib.Path(__file__).parent / "results"
+        out.mkdir(exist_ok=True)
+        save_report(out, "cachesim_throughput", text)
+        check_rows(rows, MIN_SPEEDUP_FULL)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

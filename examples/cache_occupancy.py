@@ -56,8 +56,7 @@ def main() -> None:
     counts = {"A": 0, "B": 0, "C": 0, "?": 0}
     for s in range(chip.l1d.num_sets):
         owners = []
-        lru_set = l1._lru_sets[s]
-        for line in lru_set:
+        for line in l1.set_contents(s):
             name = owner(line, line_bytes)
             owners.append(name)
             counts[name] += 1

@@ -6,6 +6,7 @@ Exposes the library's main entry points without writing Python::
     repro kernel --variant OpenBLAS-8x6        # Fig. 8 assembly
     repro simulate --kernel OpenBLAS-8x6 --size 4096 --threads 8
     repro microbench                           # Table IV ladder
+    repro cachesim --kernel OpenBLAS-8x6       # cache replay, both engines
     repro pool --threads 4                     # worker-pool engine timing
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
 
@@ -147,6 +148,60 @@ def _cmd_pool(args: argparse.Namespace) -> int:
         stats.summary_rows(),
         title="per-thread counters (one call)",
     ))
+    return 0
+
+
+def _cmd_cachesim(args: argparse.Namespace) -> int:
+    """Replay a GEBP slice through the cache sim, timing both engines.
+
+    Runs the scalar oracle and the vectorized batched engine on fresh
+    identical hierarchies, checks their counters are bit-identical and
+    prints throughput plus the Table VII miss-rate view.
+    """
+    import dataclasses
+    import time
+
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.sim.gebp_cachesim import gebp_traces, simulate_gebp_cache
+
+    sim = GemmSimulator(XGENE)
+    spec = VARIANTS[args.kernel]
+    blk = sim.default_blocking(args.kernel, args.threads)
+    warm, main_trace, _ = gebp_traces(
+        spec, blk, chip=XGENE, nc_slice=args.nc_slice
+    )
+    line = XGENE.l1d.line_bytes
+    accesses = warm.line_count(line) + main_trace.line_count(line)
+
+    results = {}
+    timings = {}
+    for engine in ("scalar", "batched"):
+        h = MemoryHierarchy(XGENE, seed=0)
+        t0 = time.perf_counter()
+        results[engine] = simulate_gebp_cache(
+            spec, blk, chip=XGENE, hierarchy=h,
+            nc_slice=args.nc_slice, engine=engine,
+        )
+        timings[engine] = time.perf_counter() - t0
+
+    identical = dataclasses.astuple(results["scalar"]) == dataclasses.astuple(
+        results["batched"]
+    )
+    print(f"{args.kernel}, {args.threads} thread(s), blocking {blk}")
+    print(format_table(
+        ["engine", "seconds", "accesses/s"],
+        [[e, timings[e], accesses / timings[e]] for e in results],
+        title=f"replay of {accesses} line accesses",
+    ))
+    print(f"speedup: {timings['scalar'] / timings['batched']:.1f}x, "
+          f"counters bit-identical: {identical}")
+    r = results["batched"]
+    print(f"L1: {r.l1_loads} loads, {r.l1_load_misses} misses "
+          f"({r.l1_load_miss_rate:.2%}); L2: {r.l2_loads} loads, "
+          f"{r.l2_load_misses} misses; DRAM: {r.dram_accesses} lines")
+    if not identical:
+        print("error: engines disagree", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -307,6 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=160)
     p.add_argument("--reps", type=int, default=10)
     p.set_defaults(func=_cmd_pool)
+
+    p = sub.add_parser(
+        "cachesim",
+        help="event-accurate GEBP cache replay; times scalar vs batched "
+             "engines and checks them bit-identical",
+    )
+    p.add_argument("--kernel", default="OpenBLAS-8x6",
+                   choices=sorted(VARIANTS))
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--nc-slice", type=int, default=None)
+    p.set_defaults(func=_cmd_cachesim)
 
     p = sub.add_parser("sweep", help="Gflops vs matrix size")
     p.add_argument("--kernels", nargs="+",

@@ -1,6 +1,10 @@
 """Memory-system simulation: caches, hierarchy, TLB, traces."""
 
+from repro.memory.batch import ACCESS_DTYPE, BatchTrace, compile_trace
 from repro.memory.cache import (
+    CODE_LOAD,
+    CODE_PREFETCH,
+    CODE_STORE,
     KIND_LOAD,
     KIND_PREFETCH,
     KIND_STORE,
@@ -32,9 +36,15 @@ from repro.memory.trace import (
 __all__ = [
     "Cache",
     "CacheStats",
+    "BatchTrace",
+    "compile_trace",
+    "ACCESS_DTYPE",
     "KIND_LOAD",
     "KIND_STORE",
     "KIND_PREFETCH",
+    "CODE_LOAD",
+    "CODE_STORE",
+    "CODE_PREFETCH",
     "MemoryHierarchy",
     "AccessResult",
     "Tlb",

@@ -1,0 +1,179 @@
+"""Batched address-trace representation for the vectorized cache engine.
+
+A :class:`BatchTrace` holds an access stream as a NumPy structured array of
+``(address, nbytes, kind, level)`` records — the array analogue of the
+generator-based :class:`~repro.memory.trace.Access` streams. Compiling a
+stream once per GEBP shape and replaying it through
+:meth:`~repro.memory.hierarchy.MemoryHierarchy.run_batch` removes the
+per-access Python overhead that bounds the Table VII / Fig. 15 block-size
+sweeps; the same object still iterates as ``Access`` records, so the scalar
+:func:`~repro.memory.trace.run_trace` path replays it unchanged as the
+differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memory.cache import (
+    CODE_LOAD,
+    CODE_PREFETCH,
+    CODE_STORE,
+    CODE_TO_KIND,
+    KIND_TO_CODE,
+)
+from repro.memory.trace import Access
+
+#: One access record: byte address, width, kind code, prefetch target level.
+ACCESS_DTYPE = np.dtype(
+    [
+        ("address", np.int64),
+        ("nbytes", np.int32),
+        ("kind", np.int8),
+        ("level", np.int8),
+    ]
+)
+
+
+class BatchTrace:
+    """An access stream materialized as one structured array.
+
+    Args:
+        records: Array of :data:`ACCESS_DTYPE` records in program order.
+
+    The trace is immutable by convention: line expansions are cached per
+    line size, so a trace compiled once per GEBP shape can be replayed
+    across every sweep point and both engines without re-materializing.
+    """
+
+    __slots__ = ("records", "_line_cache")
+
+    def __init__(self, records: np.ndarray) -> None:
+        self.records = np.ascontiguousarray(records, dtype=ACCESS_DTYPE)
+        self._line_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Access]) -> "BatchTrace":
+        """Compile an iterable of :class:`Access` records (a generator
+        trace from :mod:`repro.memory.trace`, a list, ...)."""
+        rows: List[Tuple[int, int, int, int]] = []
+        for acc in accesses:
+            try:
+                code = KIND_TO_CODE[acc.kind]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown access kind: {acc.kind!r}"
+                ) from None
+            rows.append((acc.address, acc.nbytes, code, acc.level))
+        return cls.from_rows(rows)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Tuple[int, int, int, int]]
+    ) -> "BatchTrace":
+        """Build from ``(address, nbytes, kind_code, level)`` tuples."""
+        records = np.array(rows, dtype=ACCESS_DTYPE) if rows else np.empty(
+            0, dtype=ACCESS_DTYPE
+        )
+        return cls(records)
+
+    @staticmethod
+    def concat(traces: Sequence["BatchTrace"]) -> "BatchTrace":
+        """Concatenate traces in order."""
+        if not traces:
+            return BatchTrace(np.empty(0, dtype=ACCESS_DTYPE))
+        return BatchTrace(np.concatenate([t.records for t in traces]))
+
+    def shifted(self, offset: int) -> "BatchTrace":
+        """A copy with every address moved by ``offset`` bytes.
+
+        Lets one trace compiled at base 0 serve every core: per-core
+        placement is a pure relocation of the same access pattern.
+        """
+        if offset == 0:
+            return self
+        records = self.records.copy()
+        records["address"] += offset
+        return BatchTrace(records)
+
+    # -- views --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.records.size
+
+    def __iter__(self) -> Iterator[Access]:
+        """Iterate as scalar :class:`Access` records (the oracle path)."""
+        for rec in self.records:
+            yield Access(
+                address=int(rec["address"]),
+                nbytes=int(rec["nbytes"]),
+                kind=CODE_TO_KIND[int(rec["kind"])],
+                level=int(rec["level"]),
+            )
+
+    @property
+    def addresses(self) -> np.ndarray:
+        return self.records["address"]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        return self.records["kind"]
+
+    # -- line expansion -----------------------------------------------------
+
+    def expand_lines(
+        self, line_bytes: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand byte ranges to per-line accesses for ``line_bytes``.
+
+        Returns ``(lines, kinds, levels)`` arrays, one entry per touched
+        cache line, in program order. Demand accesses cover
+        ``address .. address+nbytes-1`` (empty for ``nbytes <= 0``);
+        prefetches touch exactly the line holding ``address``, matching the
+        scalar :func:`~repro.memory.trace.run_trace` semantics. The result
+        is cached per line size.
+        """
+        cached = self._line_cache.get(line_bytes)
+        if cached is not None:
+            return cached
+        rec = self.records
+        addr = rec["address"]
+        nb = rec["nbytes"].astype(np.int64)
+        kind = rec["kind"]
+        first = addr // line_bytes
+        last = (addr + nb - 1) // line_bytes
+        counts = np.maximum(last - first + 1, 0)
+        np.copyto(counts, 0, where=nb <= 0)
+        np.copyto(counts, 1, where=kind == CODE_PREFETCH)
+        total = int(counts.sum())
+        if total == 0:
+            out = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int8),
+                np.empty(0, dtype=np.int8),
+            )
+            self._line_cache[line_bytes] = out
+            return out
+        run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+        lines = np.repeat(first, counts) + (
+            np.arange(total, dtype=np.int64) - run_starts
+        )
+        kinds = np.repeat(kind, counts)
+        levels = np.repeat(rec["level"], counts)
+        out = (lines, kinds, levels)
+        self._line_cache[line_bytes] = out
+        return out
+
+    def line_count(self, line_bytes: int) -> int:
+        """Number of per-line accesses the replay performs."""
+        return self.expand_lines(line_bytes)[0].size
+
+
+def compile_trace(accesses: Iterable[Access]) -> BatchTrace:
+    """Compile a generator-based trace into a :class:`BatchTrace`."""
+    return BatchTrace.from_accesses(accesses)

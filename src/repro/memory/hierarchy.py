@@ -13,12 +13,16 @@ the timing benefit of prefetching is that later demand accesses hit.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.arch.params import ChipParams
+import numpy as np
+
+from repro.arch.params import ChipParams, WritePolicy
 from repro.errors import SimulationError
 from repro.memory.cache import (
+    CODE_PREFETCH,
     KIND_LOAD,
     KIND_PREFETCH,
     KIND_STORE,
@@ -26,6 +30,10 @@ from repro.memory.cache import (
     CacheStats,
 )
 from repro.memory.tlb import Tlb
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.batch import BatchTrace
+    from repro.memory.trace import TraceCost
 
 
 @dataclass
@@ -50,16 +58,44 @@ class MemoryHierarchy:
     Args:
         chip: Architecture description.
         with_tlb: Model per-core TLBs if the chip defines TLB parameters.
+        seed: Seed for the RANDOM-replacement policy. Each cache gets its
+            own :class:`random.Random` derived from the seed and the
+            cache's position, so hierarchies built with the same seed
+            replay identically and per-cache victim streams stay
+            independent of the order levels are visited in (which is what
+            keeps the batched engine bit-identical under RANDOM). ``None``
+            keeps the legacy per-set ``Random(0)`` default.
     """
 
-    def __init__(self, chip: ChipParams, with_tlb: bool = False) -> None:
+    def __init__(
+        self,
+        chip: ChipParams,
+        with_tlb: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
         self.chip = chip
+        self.seed = seed
+
+        def cache_rng(index: int) -> Optional[random.Random]:
+            if seed is None:
+                return None
+            return random.Random(1_000_003 * seed + index)
+
         # Private L1 per core.
-        self.l1: List[Cache] = [Cache(chip.l1d) for _ in range(chip.cores)]
+        self.l1: List[Cache] = [
+            Cache(chip.l1d, rng=cache_rng(i)) for i in range(chip.cores)
+        ]
         # One L2 per module.
-        self.l2: List[Cache] = [Cache(chip.l2) for _ in range(chip.modules)]
+        self.l2: List[Cache] = [
+            Cache(chip.l2, rng=cache_rng(chip.cores + j))
+            for j in range(chip.modules)
+        ]
         # One L3 for the chip (optional).
-        self.l3: Optional[Cache] = Cache(chip.l3) if chip.l3 else None
+        self.l3: Optional[Cache] = (
+            Cache(chip.l3, rng=cache_rng(chip.cores + chip.modules))
+            if chip.l3
+            else None
+        )
         self.dram_accesses = 0
         self.dram_line_bytes = chip.l1d.line_bytes
         self.tlbs: List[Optional[Tlb]] = [
@@ -154,6 +190,90 @@ class MemoryHierarchy:
         for cache in levels[target_level - 1 :]:
             if cache.access_line(line, KIND_PREFETCH):
                 break  # already present here and (assumed) below
+
+    # -- batched replay -----------------------------------------------------
+
+    def run_batch(
+        self,
+        core: int,
+        trace: "BatchTrace",
+        max_level: int = 8,
+        force_scalar: bool = False,
+    ) -> "TraceCost":
+        """Replay a :class:`~repro.memory.batch.BatchTrace` on ``core``.
+
+        Produces bit-identical counters (per-level :class:`CacheStats`,
+        ``dram_accesses``, TLB stats) and an identical
+        :class:`~repro.memory.trace.TraceCost` to scalar
+        :func:`~repro.memory.trace.run_trace` over the same records.
+
+        The walk is level-wise: the whole batch is resolved against the L1
+        in one vectorized sweep, then only the miss subset — merged, in
+        program order, with software prefetches targeting the next level —
+        propagates downward. The decomposition is exact because each
+        cache's state depends only on its own access sequence, which the
+        per-level subsets preserve. Write-through hierarchies interleave
+        store propagation across levels, so they (and ``force_scalar=True``)
+        take the scalar oracle path instead; RANDOM/PLRU levels are handled
+        per cache inside :meth:`Cache.access_lines_batched`.
+        """
+        from repro.memory.trace import TraceCost, run_trace
+
+        levels = self.levels_for(core)
+        level_params = self.chip.cache_levels
+        if force_scalar or any(
+            p.write_policy is WritePolicy.WRITE_THROUGH for p in level_params
+        ):
+            return run_trace(self, core, trace, max_level)
+        lb = self.dram_line_bytes
+        lines, kinds, plevels = trace.expand_lines(lb)
+        cost = TraceCost(level_hits=[0] * max_level)
+        if lines.size == 0:
+            return cost
+        is_prefetch = kinds == CODE_PREFETCH
+        if is_prefetch.any():
+            targets = plevels[is_prefetch]
+            lo, hi = int(targets.min()), int(targets.max())
+            if lo < 1 or hi > len(levels):
+                raise SimulationError(
+                    f"prefetch target level {lo if lo < 1 else hi} "
+                    f"out of range"
+                )
+        demand = ~is_prefetch
+        cost.accesses = int(demand.sum())
+        latency = 0
+        # The TLB sees every demand access in program order, independently
+        # of which cache level serves it, so it can be replayed up front.
+        tlb = self.tlbs[core]
+        if tlb is not None:
+            tlb_misses = 0
+            for line in lines[demand]:
+                if not tlb.access_line(int(line), lb):
+                    tlb_misses += 1
+            latency += tlb_misses * tlb.params.miss_penalty_cycles
+        active = np.flatnonzero(demand | (plevels == 1))
+        for depth, cache in enumerate(levels, start=1):
+            if depth > 1:
+                entering = np.flatnonzero(is_prefetch & (plevels == depth))
+                if entering.size:
+                    active = np.sort(np.concatenate([active, entering]))
+            if active.size == 0:
+                continue
+            hits = cache.access_lines_batched(lines[active], kinds[active])
+            hit_demand = int(demand[active[hits]].sum())
+            if hit_demand:
+                cost.level_hits[min(depth - 1, max_level - 1)] += hit_demand
+                latency += hit_demand * level_params[depth - 1].latency_cycles
+            # Misses — demand walks on; prefetches install level by level
+            # until they find the line resident (the scalar break).
+            active = active[~hits]
+        to_dram = int(demand[active].sum())
+        if to_dram:
+            self.dram_accesses += to_dram
+            cost.level_hits[min(len(levels), max_level - 1)] += to_dram
+            latency += to_dram * self.chip.dram.latency_cycles
+        cost.latency_cycles = latency
+        return cost
 
     # -- statistics ---------------------------------------------------------
 

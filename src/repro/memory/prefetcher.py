@@ -13,7 +13,7 @@ Timeliness is modeled with a deterministic late/drop pattern: a fraction
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.memory.hierarchy import MemoryHierarchy
@@ -55,28 +55,44 @@ class SequentialPrefetcher:
     """Tagged next-line prefetcher in front of a core's L1.
 
     Args:
-        hierarchy: The memory system to install lines into.
+        hierarchy: The memory system to install lines into (may be ``None``
+            when a custom ``install`` sink is supplied).
         core: The core this prefetcher serves.
         late_rate: Fraction of prefetches that arrive too late (modeled
             as not issued).
         degree: Lines fetched ahead per stream advance.
+        install: Override for the install action, called as
+            ``install(line, target_level)``. Trace compilers use this to
+            *record* the prefetch stream instead of applying it — the
+            issue pattern is a pure function of the observed addresses, so
+            a recorded stream replays identically on any hierarchy.
     """
 
     def __init__(
         self,
-        hierarchy: MemoryHierarchy,
+        hierarchy: Optional[MemoryHierarchy],
         core: int,
         late_rate: float = 0.25,
         degree: int = 1,
+        install: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if degree < 1:
             raise SimulationError("prefetch degree must be >= 1")
+        if hierarchy is None and install is None:
+            raise SimulationError(
+                "SequentialPrefetcher needs a hierarchy or an install sink"
+            )
         self.hierarchy = hierarchy
         self.core = core
         self.degree = degree
         self.stats = PrefetcherStats()
         self._late = DropPattern(late_rate)
         self._last_line: Dict[str, int] = {}
+        if install is None:
+            install = lambda line, level: hierarchy.prefetch_line(
+                core, line, level
+            )
+        self._install = install
 
     def observe(self, line: int, stream: str) -> None:
         """Notify the prefetcher of a demand access to ``line`` on a
@@ -89,5 +105,5 @@ class SequentialPrefetcher:
             self.stats.late += 1
             return
         for d in range(1, self.degree + 1):
-            self.hierarchy.prefetch_line(self.core, line + d, 1)
+            self._install(line + d, 1)
             self.stats.issued += 1

@@ -9,7 +9,7 @@ MemoryHierarchy` to obtain per-level miss counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List
 
 from repro.memory.cache import KIND_LOAD, KIND_PREFETCH, KIND_STORE
@@ -73,11 +73,7 @@ class TraceCost:
 
     accesses: int = 0
     latency_cycles: int = 0
-    level_hits: List[int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.level_hits is None:
-            self.level_hits = []
+    level_hits: List[int] = field(default_factory=list)
 
 
 def run_trace(

@@ -7,7 +7,12 @@ from repro.sim.cache_fit import (
     fill_latency,
     stream_costs,
 )
-from repro.sim.gebp_cachesim import GebpCacheResult, simulate_gebp_cache
+from repro.sim.gebp_cachesim import (
+    ENGINES,
+    GebpCacheResult,
+    gebp_traces,
+    simulate_gebp_cache,
+)
 from repro.sim.gemm_sim import GemmPerformance, GemmSimulator
 from repro.sim.machine import SimulatedMachine
 from repro.sim.microbench import (
@@ -39,6 +44,8 @@ __all__ = [
     "stream_costs",
     "fill_latency",
     "simulate_gebp_cache",
+    "gebp_traces",
+    "ENGINES",
     "GebpCacheResult",
     "run_microbench",
     "build_mix",

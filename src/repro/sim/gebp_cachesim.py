@@ -25,26 +25,43 @@ With the default rates the measured miss rates land in the paper's
 
 Cost is bounded by simulating a slice of the panel (``nc_slice`` columns)
 after a warm-up pass; miss *rates* are steady-state after one sliver.
+
+Both prefetch streams are pure functions of the demand addresses — the
+drop patterns are deterministic and the sequential prefetcher only looks
+at line transitions — so the whole access sequence is compiled **once per
+GEBP shape** into a pair of :class:`~repro.memory.batch.BatchTrace`
+objects (warm-up and main loop) and replayed through either engine:
+
+- ``engine="batched"`` (and ``"auto"``): the vectorized
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.run_batch` sweep.
+- ``engine="scalar"``: per-access :func:`~repro.memory.trace.run_trace`,
+  kept as the bit-identical differential-testing oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.arch.params import ChipParams
 from repro.arch.presets import XGENE
 from repro.blocking.cache_blocking import CacheBlocking
 from repro.errors import SimulationError
 from repro.kernels.kernel_spec import KernelSpec
-from repro.memory.cache import KIND_LOAD, KIND_STORE
+from repro.memory.batch import BatchTrace
+from repro.memory.cache import CODE_LOAD, CODE_PREFETCH, CODE_STORE
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import DropPattern, SequentialPrefetcher
+from repro.memory.trace import run_trace
 
 QWORD = 16
 
 #: Backwards-compatible alias (tests exercise the pattern through here).
 _DropPattern = DropPattern
+
+#: Valid values for ``simulate_gebp_cache``'s ``engine`` argument.
+ENGINES = ("auto", "batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -69,70 +86,61 @@ class GebpCacheResult:
     kernel_loads: int
 
 
-def simulate_gebp_cache(
-    spec: KernelSpec,
-    blocking: CacheBlocking,
-    chip: ChipParams = XGENE,
-    core: int = 0,
-    hierarchy: Optional[MemoryHierarchy] = None,
-    nc_slice: Optional[int] = None,
-    prefetch: bool = True,
-    prefetch_drop: float = 0.35,
-    hw_late: float = 0.25,
-    prefa_bytes: int = 1024,
-) -> GebpCacheResult:
-    """Replay one GEBP's access stream through the cache hierarchy.
+@lru_cache(maxsize=64)
+def _gebp_trace(
+    mr: int,
+    nr: int,
+    kc: int,
+    mc: int,
+    nc: int,
+    line: int,
+    prefetch: bool,
+    prefetch_drop: float,
+    hw_late: float,
+    prefa_bytes: int,
+) -> Tuple[BatchTrace, BatchTrace, int]:
+    """Compile the GEBP access stream for one shape, at address base 0.
 
-    Args:
-        spec: Register kernel shape.
-        blocking: Block sizes (mc, kc used in full; nc possibly sliced).
-        chip: Architecture.
-        core: Executing core id.
-        hierarchy: Shared hierarchy for multi-thread experiments; a fresh
-            private one is created when omitted.
-        nc_slice: Columns of the B panel to replay (default
-            ``min(nc, 6*nr)`` — steady state is reached within a sliver).
-        prefetch: Software prefetching enabled.
-        prefetch_drop: Fraction of software prefetches dropped.
-        hw_late: Fraction of hardware sequential prefetches that arrive
-            too late to cover the demand access.
-        prefa_bytes: A-stream prefetch distance.
+    Returns ``(warm, main, kernel_loads)``: the warm-up stores that model
+    packing having written the A block / B panel, and the main-loop stream
+    with demand loads, C updates and both prefetch streams interleaved in
+    issue order. Addresses start at 0; callers relocate per core via
+    :meth:`BatchTrace.shifted`. Cached per shape — the sweeps replay the
+    same streams at every point.
     """
-    h = hierarchy or MemoryHierarchy(chip)
-    drop = DropPattern(prefetch_drop if prefetch else 1.0)
-    hw = SequentialPrefetcher(h, core, late_rate=hw_late)
-    mr, nr, kc, mc = spec.mr, spec.nr, blocking.kc, blocking.mc
-    nc = nc_slice if nc_slice is not None else min(blocking.nc, 6 * nr)
-    line = chip.l1d.line_bytes
-
-    # Disjoint address regions per core (packed buffers + C panel).
-    base = core * (1 << 30)
-    a_base = base
-    b_base = base + (1 << 28)
-    c_base = base + (1 << 29)
+    a_base = 0
+    b_base = 1 << 28
+    c_base = 1 << 29
     elem = 8
 
     na = -(-mc // mr)
     nb = -(-nc // nr)
 
-    # Warm the L2/L3 the way GEBP's preconditions state: the packed A
-    # block resides in L2, the packed B panel in L3. Packing itself wrote
-    # them, which is what installs them.
+    warm_rows: List[Tuple[int, int, int, int]] = []
     for off in range(0, na * kc * mr * elem, line):
-        h.access_line(core, (a_base + off) // line, KIND_STORE)
+        warm_rows.append((a_base + off, 1, CODE_STORE, 1))
     for off in range(0, nb * kc * nr * elem, line):
-        h.access_line(core, (b_base + off) // line, KIND_STORE)
-    h.reset_stats()
+        warm_rows.append((b_base + off, 1, CODE_STORE, 1))
+
+    rows: List[Tuple[int, int, int, int]] = []
+    drop = DropPattern(prefetch_drop if prefetch else 1.0)
+    hw = SequentialPrefetcher(
+        None,
+        0,
+        late_rate=hw_late,
+        install=lambda ln, level: rows.append(
+            (ln * line, 1, CODE_PREFETCH, level)
+        ),
+    )
 
     a_qloads_per_iter = -(-mr * elem // QWORD)
     b_qloads_per_iter = -(-nr * elem // QWORD)
     kernel_loads = 0
 
     def demand(addr: int, stream: Optional[str] = None) -> None:
-        ln = addr // line
-        h.access_line(core, ln, KIND_LOAD)
+        rows.append((addr, 1, CODE_LOAD, 1))
         if stream is not None:
-            hw.observe(ln, stream)
+            hw.observe(addr // line, stream)
 
     for j in range(nb):
         b_sliver = b_base + j * kc * nr * elem
@@ -156,17 +164,124 @@ def simulate_gebp_cache(
                 if prefetch:
                     pf_a = a_addr + prefa_bytes
                     if pf_a < a_sliver + kc * mr * elem and not drop.dropped():
-                        h.prefetch_line(core, pf_a // line, 1)
+                        rows.append(
+                            ((pf_a // line) * line, 1, CODE_PREFETCH, 1)
+                        )
             # C tile store.
             for col in range(nr):
                 c_col = c_base + (j * nr + col) * mc * elem + i * mr * elem
                 for off in range(0, mr * elem, QWORD):
-                    h.access_line(core, (c_col + off) // line, KIND_STORE)
+                    rows.append((c_col + off, 1, CODE_STORE, 1))
         if prefetch:
             # PLDL2KEEP: pull the next sliver toward the L2.
             nxt = b_base + ((j + 1) % nb) * kc * nr * elem
             for off in range(0, kc * nr * elem, line):
-                h.prefetch_line(core, (nxt + off) // line, 2)
+                rows.append((((nxt + off) // line) * line, 1, CODE_PREFETCH, 2))
+
+    return (
+        BatchTrace.from_rows(warm_rows),
+        BatchTrace.from_rows(rows),
+        kernel_loads,
+    )
+
+
+def gebp_traces(
+    spec: KernelSpec,
+    blocking: CacheBlocking,
+    chip: ChipParams = XGENE,
+    core: int = 0,
+    nc_slice: Optional[int] = None,
+    prefetch: bool = True,
+    prefetch_drop: float = 0.35,
+    hw_late: float = 0.25,
+    prefa_bytes: int = 1024,
+) -> Tuple[BatchTrace, BatchTrace, int]:
+    """The ``(warm, main, kernel_loads)`` streams one GEBP replay issues.
+
+    Relocated to ``core``'s private address region; the underlying
+    base-0 compilation is shared across cores and sweep points.
+    """
+    nc = nc_slice if nc_slice is not None else min(blocking.nc, 6 * spec.nr)
+    warm, main, kernel_loads = _gebp_trace(
+        spec.mr,
+        spec.nr,
+        blocking.kc,
+        blocking.mc,
+        nc,
+        chip.l1d.line_bytes,
+        bool(prefetch),
+        float(prefetch_drop),
+        float(hw_late),
+        int(prefa_bytes),
+    )
+    offset = core * (1 << 30)
+    return warm.shifted(offset), main.shifted(offset), kernel_loads
+
+
+def simulate_gebp_cache(
+    spec: KernelSpec,
+    blocking: CacheBlocking,
+    chip: ChipParams = XGENE,
+    core: int = 0,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    nc_slice: Optional[int] = None,
+    prefetch: bool = True,
+    prefetch_drop: float = 0.35,
+    hw_late: float = 0.25,
+    prefa_bytes: int = 1024,
+    engine: str = "auto",
+    seed: Optional[int] = None,
+) -> GebpCacheResult:
+    """Replay one GEBP's access stream through the cache hierarchy.
+
+    Args:
+        spec: Register kernel shape.
+        blocking: Block sizes (mc, kc used in full; nc possibly sliced).
+        chip: Architecture.
+        core: Executing core id.
+        hierarchy: Shared hierarchy for multi-thread experiments; a fresh
+            private one is created when omitted.
+        nc_slice: Columns of the B panel to replay (default
+            ``min(nc, 6*nr)`` — steady state is reached within a sliver).
+        prefetch: Software prefetching enabled.
+        prefetch_drop: Fraction of software prefetches dropped.
+        hw_late: Fraction of hardware sequential prefetches that arrive
+            too late to cover the demand access.
+        prefa_bytes: A-stream prefetch distance.
+        engine: ``"auto"``/``"batched"`` for the vectorized sweep,
+            ``"scalar"`` for the per-access oracle. Both produce
+            bit-identical counters.
+        seed: RANDOM-replacement seed for a freshly created hierarchy
+            (ignored when ``hierarchy`` is passed in).
+    """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    h = hierarchy or MemoryHierarchy(chip, seed=seed)
+    warm, main, kernel_loads = gebp_traces(
+        spec,
+        blocking,
+        chip=chip,
+        core=core,
+        nc_slice=nc_slice,
+        prefetch=prefetch,
+        prefetch_drop=prefetch_drop,
+        hw_late=hw_late,
+        prefa_bytes=prefa_bytes,
+    )
+
+    # Warm the L2/L3 the way GEBP's preconditions state: the packed A
+    # block resides in L2, the packed B panel in L3. Packing itself wrote
+    # them, which is what installs them.
+    if engine == "scalar":
+        run_trace(h, core, warm)
+        h.reset_stats()
+        run_trace(h, core, main)
+    else:
+        h.run_batch(core, warm)
+        h.reset_stats()
+        h.run_batch(core, main)
 
     l1 = h.l1_stats(core)
     l2 = h.l2_stats(h.module_of(core))

@@ -43,6 +43,7 @@ from repro.gemm.trace import GemmTrace
 from repro.kernels.kernel_spec import KernelSpec
 from repro.kernels.variants import VARIANTS
 from repro.sim.cache_fit import Residency, analyze_residency, stream_costs
+from repro.sim.gebp_cachesim import GebpCacheResult, simulate_gebp_cache
 from repro.sim.params import DEFAULT_SIM_PARAMS, SimParams
 from repro.sim.synthetic_trace import micro_tiles, synthesize_trace
 
@@ -119,6 +120,31 @@ class GemmSimulator:
 
     def _window_limited(self, spec: KernelSpec) -> bool:
         return (not spec.rotated) or spec.preload_window_limited
+
+    # -- event-accurate cache replay ---------------------------------------------
+
+    def cache_sim(
+        self,
+        kernel: str,
+        threads: int = 1,
+        blocking: Optional[CacheBlocking] = None,
+        engine: str = "auto",
+        **kwargs,
+    ) -> GebpCacheResult:
+        """Event-accurate cache replay of one GEBP slice for ``kernel``.
+
+        Complements :meth:`simulate`'s analytic model with the
+        set-associative simulator behind Table VII. ``blocking`` defaults
+        to :meth:`default_blocking` for ``threads``; remaining keyword
+        arguments (``core``, ``hierarchy``, ``nc_slice``, prefetch
+        knobs, ``seed``) pass through to
+        :func:`repro.sim.gebp_cachesim.simulate_gebp_cache`.
+        """
+        spec = self._resolve(kernel)
+        blk = blocking or self.default_blocking(kernel, threads)
+        return simulate_gebp_cache(
+            spec, blk, chip=self.chip, engine=engine, **kwargs
+        )
 
     # -- per-iteration kernel cost ----------------------------------------------
 

@@ -43,6 +43,13 @@ class TestCli:
         assert "7:24" in out
         assert "91.5" in out
 
+    def test_cachesim_checks_engines_agree(self, capsys):
+        assert main(["cachesim", "--nc-slice", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out
+        assert "speedup" in out
+        assert "L1:" in out
+
     def test_sweep(self, capsys):
         assert main(["sweep", "--stop", "768", "--step", "512"]) == 0
         out = capsys.readouterr().out

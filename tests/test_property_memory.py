@@ -1,10 +1,13 @@
 """Property-based tests (hypothesis) for the cache simulator."""
 
+import dataclasses
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.arch import CacheParams, ReplacementPolicy
-from repro.memory import Cache
+from repro.arch.presets import MOBILE_SOC, XGENE
+from repro.memory import Access, BatchTrace, Cache, MemoryHierarchy, run_trace
 
 SMALL_GEOMS = st.sampled_from(
     [
@@ -122,3 +125,97 @@ class TestCacheInvariants:
             c.access_line(ln, "store" if is_store else "load")
             stores += is_store
         assert c.stats.writebacks <= stores
+
+
+def _shrunk_chip(policy, base=XGENE):
+    """A tiny-cache chip so short random traces still cause evictions."""
+    repl = {
+        "l1d": dataclasses.replace(
+            base.l1d, size_bytes=1024, ways=2, replacement=policy
+        ),
+        "l2": dataclasses.replace(
+            base.l2, size_bytes=2048, ways=4, replacement=policy
+        ),
+    }
+    if base.l3:
+        repl["l3"] = dataclasses.replace(
+            base.l3, size_bytes=4096, ways=4, replacement=policy
+        )
+    return dataclasses.replace(base, **repl)
+
+
+POLICIES = st.sampled_from(list(ReplacementPolicy))
+
+RANDOM_ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 14) - 1),  # address
+        st.integers(min_value=0, max_value=150),            # nbytes
+        st.sampled_from(["load", "store", "prefetch"]),
+        st.integers(min_value=1, max_value=2),              # prefetch level
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+class TestBatchedScalarEquivalence:
+    """The vectorized engine must be bit-identical to the scalar oracle
+    on arbitrary traces — every CacheStats field at every level, the
+    DRAM counter, the TLB counters and the returned TraceCost."""
+
+    def _compare(self, chip, rows, core, with_tlb=False, seed=17):
+        n_levels = 3 if chip.l3 else 2
+        trace = BatchTrace.from_accesses(
+            Access(addr, nb, kind, min(level, n_levels))
+            for addr, nb, kind, level in rows
+        )
+        h_s = MemoryHierarchy(chip, with_tlb=with_tlb, seed=seed)
+        h_b = MemoryHierarchy(chip, with_tlb=with_tlb, seed=seed)
+        cost_s = run_trace(h_s, core, trace)
+        cost_b = h_b.run_batch(core, trace)
+        assert cost_s == cost_b
+        for c_s, c_b in zip(h_s.l1, h_b.l1):
+            assert c_s.stats == c_b.stats
+        for c_s, c_b in zip(h_s.l2, h_b.l2):
+            assert c_s.stats == c_b.stats
+        assert h_s.l3_stats() == h_b.l3_stats()
+        assert h_s.dram_accesses == h_b.dram_accesses
+        if with_tlb:
+            assert h_s.tlbs[core].stats == h_b.tlbs[core].stats
+
+    @given(RANDOM_ACCESSES, POLICIES,
+           st.integers(min_value=0, max_value=XGENE.cores - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_hierarchy_equivalence_all_policies(self, rows, policy, core):
+        self._compare(_shrunk_chip(policy), rows, core)
+
+    @given(RANDOM_ACCESSES,
+           st.integers(min_value=0, max_value=MOBILE_SOC.cores - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchy_equivalence_no_l3_with_tlb(self, rows, core):
+        chip = _shrunk_chip(ReplacementPolicy.LRU, base=MOBILE_SOC)
+        chip = dataclasses.replace(chip, tlb=XGENE.tlb)
+        self._compare(chip, rows, core, with_tlb=True)
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 255), st.booleans()),
+        min_size=1, max_size=300,
+    ), st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_single_cache_batched_matches_scalar(self, ops, tail_min):
+        """Both sweep paths (vector rounds and the per-access tail) agree
+        with the scalar cache on hit pattern, stats and final contents."""
+        import numpy as np
+
+        c_s = make_cache(2, 4, 64)
+        c_b = make_cache(2, 4, 64)
+        scalar_hits = [
+            c_s.access_line(ln, "store" if s else "load") for ln, s in ops
+        ]
+        lines = np.array([ln for ln, _ in ops], dtype=np.int64)
+        kinds = np.array([1 if s else 0 for _, s in ops], dtype=np.int8)
+        hits = c_b.access_lines_batched(lines, kinds, tail_min=tail_min)
+        assert list(hits) == scalar_hits
+        assert c_s.stats == c_b.stats
+        for ln in set(lines.tolist()):
+            assert c_s.contains_line(ln) == c_b.contains_line(ln)
