@@ -1,0 +1,188 @@
+"""Throughput of the compiled timed-execution engine vs the interpreter.
+
+Replays the Table V cross-validation kernels (the three paper kernels
+plus the no-rotation ablation) through full timed GEBPs at their solved
+blockings with both engines and checks:
+
+- every observable is **bit-identical**: the GEBP's C panel, total and
+  per-tile cycles, and — on a per-variant micro-tile probe — the full
+  pipeline counter set (raw/structural/WAR stalls, issue cycles) and the
+  load-latency histogram;
+- the aggregate speedup clears the floor the engine exists for
+  (>= 10x on the full sweep; >= 3x in ``--smoke`` mode, whose short
+  slice amortizes template construction less).
+
+Runs standalone (``python bench_timed_throughput.py [--smoke]`` — the CI
+smoke gate) or under pytest-benchmark with the rest of the harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from conftest import save_report
+
+from repro.analysis import format_table
+from repro.arch import XGENE
+from repro.blocking import solve_cache_blocking
+from repro.kernels import get_variant
+from repro.sim import run_timed_gebp, run_timed_micro_tile
+
+FULL_POINTS = (
+    ("OpenBLAS-8x6", 4, 3, None),
+    ("OpenBLAS-8x4", 4, 3, None),
+    ("OpenBLAS-4x4", 4, 3, None),
+    ("OpenBLAS-8x6-noRR", 4, 3, None),
+)
+SMOKE_POINTS = (("OpenBLAS-8x6", 2, 2, 128),)
+
+MIN_SPEEDUP_FULL = 10.0
+MIN_SPEEDUP_SMOKE = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputRow:
+    """One sweep point, both engines."""
+
+    kernel: str
+    tiles: int
+    k_iters: int
+    interpreted_s: float
+    compiled_s: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.interpreted_s / self.compiled_s
+
+    @property
+    def compiled_rate(self) -> float:
+        return self.k_iters / self.compiled_s
+
+
+def _point_inputs(name: str, na: int, nb: int, kc: Optional[int]):
+    kernel = get_variant(name)
+    spec = kernel.spec
+    if kc is None:
+        blk = solve_cache_blocking(XGENE, spec.mr, spec.nr, threads=1)
+        unroll = kernel.plan.unroll
+        kc = max(unroll, (blk.kc // unroll) * unroll)
+    rng = np.random.default_rng(2015)
+    packed_a = rng.standard_normal((na, kc, spec.mr))
+    packed_b = rng.standard_normal((nb, kc, spec.nr))
+    c0 = rng.standard_normal((na * spec.mr, nb * spec.nr))
+    return kernel, packed_a, packed_b, c0, kc
+
+
+def run_throughput(
+    points: Sequence[Tuple[str, int, int, Optional[int]]] = FULL_POINTS,
+) -> List[ThroughputRow]:
+    """Time both engines over ``points``; each run on a fresh hierarchy."""
+    rows = []
+    for name, na, nb, kc_arg in points:
+        kernel, packed_a, packed_b, c0, kc = _point_inputs(
+            name, na, nb, kc_arg
+        )
+        gebp, tile, timings = {}, {}, {}
+        for engine in ("interpreted", "compiled"):
+            t0 = time.perf_counter()
+            gebp[engine] = run_timed_gebp(
+                kernel, packed_a, packed_b, c0.copy(), engine=engine
+            )
+            tile[engine] = run_timed_micro_tile(
+                kernel, packed_a[0], packed_b[0], engine=engine
+            )
+            timings[engine] = time.perf_counter() - t0
+        gi, gc = gebp["interpreted"], gebp["compiled"]
+        ti, tc = tile["interpreted"], tile["compiled"]
+        identical = (
+            np.array_equal(gi.c_panel, gc.c_panel)
+            and gi.cycles == gc.cycles
+            and gi.tile_cycles == gc.tile_cycles
+            and ti.pipeline == tc.pipeline
+            and ti.load_latencies == tc.load_latencies
+            and np.array_equal(ti.c_tile, tc.c_tile)
+        )
+        rows.append(ThroughputRow(
+            kernel=name,
+            tiles=na * nb,
+            k_iters=(na * nb + 1) * kc,
+            interpreted_s=timings["interpreted"],
+            compiled_s=timings["compiled"],
+            identical=identical,
+        ))
+    return rows
+
+
+def aggregate_speedup(rows: Sequence[ThroughputRow]) -> float:
+    return sum(r.interpreted_s for r in rows) / sum(
+        r.compiled_s for r in rows
+    )
+
+
+def check_rows(rows: Sequence[ThroughputRow], min_speedup: float) -> None:
+    for r in rows:
+        assert r.identical, (
+            f"{r.kernel}: engines disagree on cycles, stalls, latency "
+            f"histograms or C values"
+        )
+    agg = aggregate_speedup(rows)
+    assert agg >= min_speedup, (
+        f"aggregate speedup {agg:.1f}x below the {min_speedup:.0f}x floor"
+    )
+
+
+def format_report(rows: Sequence[ThroughputRow], label: str) -> str:
+    text = format_table(
+        ["kernel", "tiles", "k-iters", "interpreted s", "compiled s",
+         "speedup", "compiled iters/s"],
+        [[r.kernel, r.tiles, r.k_iters, r.interpreted_s, r.compiled_s,
+          r.speedup, r.compiled_rate] for r in rows],
+        title=f"Compiled vs interpreted timed execution ({label})",
+    )
+    total = sum(r.k_iters for r in rows)
+    return (
+        f"{text}\naggregate: {total} timed k-iterations, "
+        f"{aggregate_speedup(rows):.1f}x speedup, all observables "
+        f"bit-identical"
+    )
+
+
+def test_timed_throughput(benchmark, report_dir):
+    rows = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    text = format_report(rows, "Table V cross-validation kernels")
+    save_report(report_dir, "timed_throughput", text)
+    check_rows(rows, MIN_SPEEDUP_FULL)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short slice, relaxed speedup floor, no results file "
+             "(the CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = run_throughput(SMOKE_POINTS)
+        print(format_report(rows, "smoke"))
+        check_rows(rows, MIN_SPEEDUP_SMOKE)
+    else:
+        rows = run_throughput()
+        text = format_report(rows, "Table V cross-validation kernels")
+        import pathlib
+
+        out = pathlib.Path(__file__).parent / "results"
+        out.mkdir(exist_ok=True)
+        save_report(out, "timed_throughput", text)
+        check_rows(rows, MIN_SPEEDUP_FULL)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Exposes the library's main entry points without writing Python::
     repro simulate --kernel OpenBLAS-8x6 --size 4096 --threads 8
     repro microbench                           # Table IV ladder
     repro cachesim --kernel OpenBLAS-8x6       # cache replay, both engines
+    repro timed --kernel OpenBLAS-8x6          # timed run, both engines
     repro pool --threads 4                     # worker-pool engine timing
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
 
@@ -205,6 +206,59 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timed(args: argparse.Namespace) -> int:
+    """Timing-functional kernel run, comparing execution engines.
+
+    Runs one micro-tile of the chosen variant through the interpreted
+    oracle and the compiled template engine, checks every observable
+    (cycles, stall breakdown, load-latency histogram, C values) is
+    bit-identical, and prints the timing detail plus engine throughput.
+    """
+    import time
+
+    import numpy as np
+
+    sim = GemmSimulator(XGENE)
+    runs = {}
+    timings = {}
+    for engine in ("interpreted", "compiled"):
+        t0 = time.perf_counter()
+        runs[engine] = sim.timed_kernel(
+            args.kernel, kc=args.kc, engine=engine, hw_late=args.hw_late
+        )
+        timings[engine] = time.perf_counter() - t0
+    ri, rc = runs["interpreted"], runs["compiled"]
+    identical = (
+        ri.pipeline == rc.pipeline
+        and ri.load_latencies == rc.load_latencies
+        and np.array_equal(ri.c_tile, rc.c_tile)
+    )
+    r = rc
+    kc = args.kc or round(r.cycles / r.cycles_per_iteration)
+    print(f"{args.kernel}, kc={kc}: {r.cycles} cycles "
+          f"({r.cycles_per_iteration:.3f}/iter), "
+          f"efficiency {r.efficiency:.1%}")
+    p = r.pipeline
+    print(f"stalls: raw {p.raw_stall_cycles}, structural "
+          f"{p.structural_stall_cycles}, war {p.war_stall_cycles}; "
+          f"ipc {p.ipc:.2f}")
+    hist = ", ".join(
+        f"{lat}cy x{cnt}" for lat, cnt in sorted(r.load_latencies.items())
+    )
+    print(f"load latencies: {hist}")
+    print(format_table(
+        ["engine", "seconds", "k-iters/s"],
+        [[e, timings[e], kc / timings[e]] for e in runs],
+        title="engine timing",
+    ))
+    print(f"speedup: {timings['interpreted'] / timings['compiled']:.1f}x, "
+          f"bit-identical: {identical}")
+    if not identical:
+        print("error: engines disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sim = GemmSimulator(XGENE)
     sizes = list(range(args.start, args.stop + 1, args.step))
@@ -373,6 +427,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--nc-slice", type=int, default=None)
     p.set_defaults(func=_cmd_cachesim)
+
+    p = sub.add_parser(
+        "timed",
+        help="timing-functional kernel run; times interpreted vs "
+             "compiled engines and checks them bit-identical",
+    )
+    p.add_argument("--kernel", default="OpenBLAS-8x6",
+                   choices=sorted(VARIANTS))
+    p.add_argument("--kc", type=int, default=None)
+    p.add_argument("--hw-late", type=float, default=0.25)
+    p.set_defaults(func=_cmd_timed)
 
     p = sub.add_parser("sweep", help="Gflops vs matrix size")
     p.add_argument("--kernels", nargs="+",

@@ -15,6 +15,11 @@ from repro.kernels.codegen import (
     c_register,
     generate_kernel,
 )
+from repro.kernels.compiled import (
+    CompiledKernel,
+    compilability,
+    compile_kernel,
+)
 from repro.kernels.kernel_spec import (
     KernelStyle,
     KERNEL_4X4,
@@ -67,6 +72,9 @@ __all__ = [
     "schedule_body",
     "GeneratedKernel",
     "generate_kernel",
+    "CompiledKernel",
+    "compile_kernel",
+    "compilability",
     "c_register",
     "A_POINTER",
     "B_POINTER",

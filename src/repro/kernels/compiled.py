@@ -1,0 +1,372 @@
+"""Compiled execution of generated register kernels.
+
+The timed executor's interpreted path dispatches every dynamic instruction
+through three scalar loops: functional execution, a per-load cache walk,
+and the scoreboard issue loop. But a generated kernel is a *static*
+template — the body's dependence structure, address stream and FMA
+dataflow are fixed at generation time and merely repeated ``kc/unroll``
+times — so all three loops can be compiled once per kernel and replayed
+in batch (the same compile-once / relocate-per-call trick
+:mod:`repro.sim.gebp_cachesim` uses for cache traces, extended to values
+and time):
+
+- **values** — the by-element FMLA grid accumulates, for every C element,
+  its ``a[k, i] * b[k, j]`` terms in strictly ascending ``k``
+  (:func:`compilability` verifies this from the schedule), so the C tile
+  is an ordered NumPy accumulation (``np.add.accumulate`` applies adds
+  sequentially) that matches the interpreter bit for bit;
+- **addresses** — every load/prefetch address is affine in the body index
+  (post-indexed pointer walks), so one pass over the body yields a memory
+  event template; folding in the :class:`SequentialPrefetcher` (whose
+  late/drop pattern is a pure function of the observed line sequence)
+  gives a relocatable :class:`~repro.memory.batch.BatchTrace` per tile,
+  replayed through
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.run_batch_levels`;
+- **time** — the prologue/body/epilogue become
+  :class:`~repro.pipeline.scoreboard.ScoreboardTemplate` segments run by
+  :meth:`~repro.pipeline.scoreboard.ScoreboardCore.run_compiled`, whose
+  per-(state, latency-pattern) memo collapses steady-state iterations
+  into dictionary hits.
+
+The interpreted path stays as the differential-testing oracle
+(``tests/test_compiled_engine.py`` asserts bit-identical cycles, stalls,
+latency histograms and C values on every compilable kernel variant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.params import CoreParams
+from repro.errors import SimulationError
+from repro.isa.instructions import Fmla, Ldr, Prfm, Str
+from repro.isa.registers import DOUBLE_BYTES
+from repro.kernels.codegen import (
+    A_POINTER,
+    B_POINTER,
+    C_POINTER,
+    GeneratedKernel,
+)
+from repro.kernels.execute import _body_load_targets
+from repro.memory.batch import ACCESS_DTYPE, BatchTrace
+from repro.memory.cache import CODE_LOAD, CODE_PREFETCH
+from repro.memory.prefetcher import SequentialPrefetcher
+from repro.pipeline.scoreboard import ScoreboardTemplate
+
+#: Stream ids used to tag trace records for per-stream relocation.
+_STREAM_A, _STREAM_B, _STREAM_C = 0, 1, 2
+
+_POINTER_STREAM = {
+    A_POINTER.index: _STREAM_A,
+    B_POINTER.index: _STREAM_B,
+    C_POINTER.index: _STREAM_C,
+}
+
+
+def compilability(kernel: GeneratedKernel) -> Optional[str]:
+    """Why ``kernel`` cannot take the compiled path, or ``None`` if it can.
+
+    The compiled engine covers the even-tile, by-element kernels the code
+    generator emits (Fig. 8 structure): an all-``ldr`` C prologue, a body
+    of post-indexed A/B loads, prefetches and by-element FMLAs whose
+    per-element accumulation order is ascending in ``k``, and an
+    all-``str`` epilogue. Anything else — odd tiles, k-vectorized bodies
+    with ``faddp`` reductions, non-sequential load streams — reports a
+    reason and is left to the interpreter.
+    """
+    spec = kernel.spec
+    if spec.mr % 2 or spec.nr % 2:
+        return "odd tile: no by-element functional compilation"
+    for instr in kernel.prologue:
+        if not isinstance(instr, Ldr) or instr.base.index != C_POINTER.index:
+            return "prologue is not a C-pointer load sequence"
+    for instr in kernel.epilogue:
+        if not isinstance(instr, Str):
+            return "epilogue is not a store sequence"
+    for instr in kernel.body:
+        if isinstance(instr, (Ldr, Prfm)):
+            if instr.base.index not in (A_POINTER.index, B_POINTER.index):
+                return "body accesses memory outside the A/B streams"
+        elif not isinstance(instr, Fmla):
+            return (
+                f"body contains {type(instr).__name__}: only by-element "
+                "fmla/ldr/prfm bodies compile"
+            )
+    # Ascending-k accumulation per C element: for each fmla_index the
+    # copies must appear in program order 0..unroll-1, so the ordered
+    # NumPy accumulation reproduces the interpreter's float rounding.
+    last_copy: Dict[int, int] = {}
+    for op in kernel.schedule.ops:
+        if op.kind != "fmla":
+            continue
+        prev = last_copy.get(op.fmla_index, -1)
+        if op.copy != prev + 1:
+            return "fmla copies are not in ascending k order"
+        last_copy[op.fmla_index] = op.copy
+    if any(c != kernel.plan.unroll - 1 for c in last_copy.values()):
+        return "body does not cover every k of the unroll"
+    # Address-sequential A/B streams (post-indexed execution reads
+    # exactly the packed layout).
+    try:
+        _stream_layout(kernel)
+    except SimulationError as exc:
+        return str(exc)
+    return None
+
+
+def _stream_layout(kernel: GeneratedKernel) -> Dict[str, int]:
+    """Buffer-relative start offset of each stream's first body load.
+
+    Raises if the body's loads are not address-sequential per stream.
+    """
+    spec = kernel.spec
+    targets, _preload = _body_load_targets(kernel)
+    start: Dict[str, int] = {}
+    expected: Dict[str, int] = {}
+    for _idx, slot, k_off in targets:
+        s = slot[0]
+        width = spec.mr if s == "A" else spec.nr
+        off = (k_off * width + 2 * int(slot[1:])) * DOUBLE_BYTES
+        if s not in start:
+            start[s] = off
+        elif off != expected[s]:
+            raise SimulationError(
+                f"{s}-stream loads are not address-sequential"
+            )
+        expected[s] = off + 2 * DOUBLE_BYTES
+    return start
+
+
+class CompiledKernel:
+    """A generated kernel lowered for batched replay.
+
+    Compile once per kernel (see :func:`compile_kernel` for the cached
+    entry point); every per-shape artifact — tile traces keyed by base
+    residues, scoreboard memos keyed by core parameters — is cached on
+    the instance, so GEBP loops re-running the kernel over many tiles
+    amortize all template construction.
+
+    Args:
+        kernel: The kernel to compile; raises :class:`SimulationError`
+            with the :func:`compilability` reason if it cannot compile.
+    """
+
+    def __init__(self, kernel: GeneratedKernel) -> None:
+        reason = compilability(kernel)
+        if reason is not None:
+            raise SimulationError(f"kernel does not compile: {reason}")
+        self.kernel = kernel
+        self.prologue_template = ScoreboardTemplate(list(kernel.prologue))
+        self.body_template = ScoreboardTemplate(list(kernel.body))
+        self.epilogue_template = ScoreboardTemplate(list(kernel.epilogue))
+        self._events = _compile_events(kernel)
+        self._trace_cache: Dict[tuple, Tuple[np.ndarray, np.ndarray, tuple]] = {}
+        self._memos: Dict[tuple, dict] = {}
+
+    # -- functional layer ---------------------------------------------------
+
+    def compute_tile(
+        self,
+        a_sliver: np.ndarray,
+        b_sliver: np.ndarray,
+        c_tile: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The kernel's C tile, bit-identical to interpreted execution.
+
+        Every C element accumulates its ``kc`` products in ascending
+        ``k`` (guaranteed by :func:`compilability`); ``np.add.accumulate``
+        applies the additions sequentially, so the float rounding matches
+        the interpreter's one-FMLA-at-a-time updates exactly.
+        """
+        spec = self.kernel.spec
+        c0 = (
+            np.zeros((spec.mr, spec.nr))
+            if c_tile is None
+            else np.asarray(c_tile, float)
+        )
+        terms = a_sliver[:, :, None] * b_sliver[:, None, :]
+        chain = np.concatenate([c0[None], terms], axis=0)
+        return np.add.accumulate(chain, axis=0)[-1]
+
+    # -- memory layer -------------------------------------------------------
+
+    def loads_per_tile(self, n_bodies: int) -> int:
+        """Dynamic demand-load count of one micro-tile run."""
+        return (
+            self.prologue_template.n_loads
+            + n_bodies * self.body_template.n_loads
+        )
+
+    def tile_trace(
+        self,
+        n_bodies: int,
+        a_base: int,
+        b_base: int,
+        c_base: int,
+        hw_late: float,
+        line_bytes: int,
+    ) -> BatchTrace:
+        """The micro-tile's timed access stream at the given bases.
+
+        One record per demand load (in 1:1 program order with the
+        scoreboard's LDRs) plus the software prefetches and the hardware
+        prefetcher's installs, exactly as the interpreted ``step()``
+        interleaves them. The stream is a pure function of
+        ``(n_bodies, bases mod line, hw_late)``; per residue class it is
+        built once and relocated per call (base deltas within a class are
+        line multiples, so install lines relocate exactly).
+        """
+        key = (
+            n_bodies,
+            a_base % line_bytes,
+            b_base % line_bytes,
+            c_base % line_bytes,
+            hw_late,
+            line_bytes,
+        )
+        entry = self._trace_cache.get(key)
+        if entry is None:
+            records, streams = self._build_rows(
+                n_bodies, a_base, b_base, c_base, hw_late, line_bytes
+            )
+            self._trace_cache[key] = (
+                records, streams, (a_base, b_base, c_base),
+            )
+            return BatchTrace(records)
+        records, streams, bases0 = entry
+        deltas = (a_base - bases0[0], b_base - bases0[1], c_base - bases0[2])
+        if deltas == (0, 0, 0):
+            return BatchTrace(records)
+        moved = records.copy()
+        moved["address"] += np.array(deltas, dtype=np.int64)[streams]
+        return BatchTrace(moved)
+
+    def _build_rows(
+        self,
+        n_bodies: int,
+        a_base: int,
+        b_base: int,
+        c_base: int,
+        hw_late: float,
+        line_bytes: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        prologue_events, body_events, advance = self._events
+        base_of = {_STREAM_A: a_base, _STREAM_B: b_base, _STREAM_C: c_base}
+        rows: List[Tuple[int, int, int, int]] = []
+        streams: List[int] = []
+        current_stream = _STREAM_A
+
+        def install(line: int, level: int) -> None:
+            rows.append((line * line_bytes, 1, CODE_PREFETCH, level))
+            streams.append(current_stream)
+
+        prefetcher = SequentialPrefetcher(
+            None, 0, late_rate=hw_late, install=install
+        )
+        tag_of = {_STREAM_A: "A", _STREAM_B: "B"}
+        for sid, off in prologue_events:
+            rows.append((base_of[sid] + off, 1, CODE_LOAD, 0))
+            streams.append(sid)
+        for body in range(n_bodies):
+            for is_prefetch, sid, off, level in body_events:
+                addr = base_of[sid] + off + body * advance[sid]
+                if is_prefetch:
+                    rows.append((addr, 1, CODE_PREFETCH, level))
+                    streams.append(sid)
+                else:
+                    rows.append((addr, 1, CODE_LOAD, 0))
+                    streams.append(sid)
+                    current_stream = sid
+                    prefetcher.observe(addr // line_bytes, tag_of[sid])
+        records = np.array(rows, dtype=ACCESS_DTYPE)
+        n_demand = int((records["kind"] == CODE_LOAD).sum())
+        if n_demand != self.loads_per_tile(n_bodies):
+            raise SimulationError(
+                "compiled trace demand-load count does not match the "
+                "scoreboard templates"
+            )
+        return records, np.array(streams, dtype=np.int64)
+
+    # -- timing layer -------------------------------------------------------
+
+    def segments(
+        self, n_bodies: int
+    ) -> List[Tuple[ScoreboardTemplate, int]]:
+        """Scoreboard segments of one micro-tile run."""
+        return [
+            (self.prologue_template, 1),
+            (self.body_template, n_bodies),
+            (self.epilogue_template, 1),
+        ]
+
+    def memo_for(
+        self,
+        core: CoreParams,
+        enforce_war: bool = False,
+        load_latency: Optional[int] = None,
+    ) -> dict:
+        """The scoreboard memo for one core configuration.
+
+        Memo entries are only valid for identical core parameters, so the
+        cache is keyed on them; callers running many tiles on the same
+        chip share one memo and hit it for every steady-state iteration.
+        """
+        key = (core, enforce_war, load_latency)
+        return self._memos.setdefault(key, {})
+
+
+def _compile_events(kernel: GeneratedKernel):
+    """Lower prologue/body to relocatable memory events.
+
+    Returns ``(prologue_events, body_events, advance)`` where prologue
+    events are ``(stream, offset)`` loads, body events are
+    ``(is_prefetch, stream, offset, level)`` with offsets relative to the
+    stream's buffer base for body 0, and ``advance`` maps each stream to
+    its per-body pointer advance (body ``n`` adds ``n * advance``).
+    """
+    start = _stream_layout(kernel)
+    prologue_events: List[Tuple[int, int]] = []
+    c_off = 0
+    for instr in kernel.prologue:
+        prologue_events.append((_STREAM_C, c_off))
+        c_off += instr.post_increment
+    cursor = {_STREAM_A: start.get("A", 0), _STREAM_B: start.get("B", 0)}
+    advance = {_STREAM_A: 0, _STREAM_B: 0, _STREAM_C: 0}
+    body_events: List[Tuple[bool, int, int, int]] = []
+    for instr in kernel.body:
+        if isinstance(instr, Ldr):
+            sid = _POINTER_STREAM[instr.base.index]
+            body_events.append((False, sid, cursor[sid], 0))
+            cursor[sid] += instr.post_increment
+            advance[sid] += instr.post_increment
+        elif isinstance(instr, Prfm):
+            sid = _POINTER_STREAM[instr.base.index]
+            body_events.append(
+                (True, sid, cursor[sid] + instr.offset, instr.target.level)
+            )
+    return prologue_events, body_events, advance
+
+
+#: id-keyed compilation cache; bounded so e.g. property tests generating
+#: many throwaway kernels cannot grow it without limit.
+_CACHE: Dict[int, CompiledKernel] = {}
+_CACHE_LIMIT = 64
+
+
+def compile_kernel(kernel: GeneratedKernel) -> CompiledKernel:
+    """Compile ``kernel``, reusing a prior compilation of the same object.
+
+    The cache is what lets independent entry points (micro-tile, GEBP,
+    dual-GEBP, benchmarks) share trace templates and scoreboard memos
+    for the memoized kernel variants without explicit plumbing.
+    """
+    cached = _CACHE.get(id(kernel))
+    if cached is not None and cached.kernel is kernel:
+        return cached
+    compiled = CompiledKernel(kernel)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[id(kernel)] = compiled
+    return compiled

@@ -1,6 +1,11 @@
 """Memory-system simulation: caches, hierarchy, TLB, traces."""
 
-from repro.memory.batch import ACCESS_DTYPE, BatchTrace, compile_trace
+from repro.memory.batch import (
+    ACCESS_DTYPE,
+    BatchTrace,
+    compile_trace,
+    warm_region,
+)
 from repro.memory.cache import (
     CODE_LOAD,
     CODE_PREFETCH,
@@ -38,6 +43,7 @@ __all__ = [
     "CacheStats",
     "BatchTrace",
     "compile_trace",
+    "warm_region",
     "ACCESS_DTYPE",
     "KIND_LOAD",
     "KIND_STORE",

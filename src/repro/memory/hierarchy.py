@@ -275,6 +275,87 @@ class MemoryHierarchy:
         cost.latency_cycles = latency
         return cost
 
+    def run_batch_levels(
+        self,
+        core: int,
+        trace: "BatchTrace",
+        force_scalar: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Replay a trace like :meth:`run_batch`, returning per-access detail.
+
+        Returns ``(levels, latencies)`` arrays with one entry per *demand*
+        line access of ``trace`` in program order: the 1-based cache level
+        that served it (``len(levels)+1`` = DRAM) and the latency charged —
+        exactly the :class:`AccessResult` fields :meth:`access_line` would
+        have produced for the same access in the same sequence. Cache and
+        TLB state and statistics evolve identically to the scalar replay;
+        this is what the compiled timed-execution engine feeds into the
+        scoreboard.
+        """
+        levels = self.levels_for(core)
+        level_params = self.chip.cache_levels
+        lb = self.dram_line_bytes
+        if force_scalar or any(
+            p.write_policy is WritePolicy.WRITE_THROUGH for p in level_params
+        ):
+            served: List[int] = []
+            lats: List[int] = []
+            for acc in trace:
+                if acc.kind == KIND_PREFETCH:
+                    self.prefetch_line(core, acc.address // lb, acc.level)
+                    continue
+                for res in self.access_bytes(
+                    core, acc.address, acc.nbytes, acc.kind
+                ):
+                    served.append(res.level_hit)
+                    lats.append(res.latency_cycles)
+            return (
+                np.array(served, dtype=np.int64),
+                np.array(lats, dtype=np.int64),
+            )
+        lines, kinds, plevels = trace.expand_lines(lb)
+        is_prefetch = kinds == CODE_PREFETCH
+        if is_prefetch.any():
+            targets = plevels[is_prefetch]
+            lo, hi = int(targets.min()), int(targets.max())
+            if lo < 1 or hi > len(levels):
+                raise SimulationError(
+                    f"prefetch target level {lo if lo < 1 else hi} "
+                    f"out of range"
+                )
+        demand = ~is_prefetch
+        served_at = np.zeros(lines.size, dtype=np.int64)
+        tlb_penalty = np.zeros(lines.size, dtype=np.int64)
+        tlb = self.tlbs[core]
+        if tlb is not None:
+            demand_idx = np.flatnonzero(demand)
+            for idx in demand_idx:
+                if not tlb.access_line(int(lines[idx]), lb):
+                    tlb_penalty[idx] = tlb.params.miss_penalty_cycles
+        active = np.flatnonzero(demand | (plevels == 1))
+        for depth, cache in enumerate(levels, start=1):
+            if depth > 1:
+                entering = np.flatnonzero(is_prefetch & (plevels == depth))
+                if entering.size:
+                    active = np.sort(np.concatenate([active, entering]))
+            if active.size == 0:
+                continue
+            hits = cache.access_lines_batched(lines[active], kinds[active])
+            served_at[active[hits]] = depth
+            active = active[~hits]
+        dram_idx = active[demand[active]]
+        self.dram_accesses += dram_idx.size
+        served_at[dram_idx] = len(levels) + 1
+        latency_of = np.array(
+            [0]
+            + [p.latency_cycles for p in level_params]
+            + [self.chip.dram.latency_cycles],
+            dtype=np.int64,
+        )
+        out_levels = served_at[demand]
+        out_lat = latency_of[out_levels] + tlb_penalty[demand]
+        return out_levels, out_lat
+
     # -- statistics ---------------------------------------------------------
 
     def l1_stats(self, core: Optional[int] = None) -> CacheStats:

@@ -5,10 +5,15 @@ from repro.pipeline.interference import (
     DEFAULT_SIGMA,
     LoadInterferenceModel,
 )
-from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
+from repro.pipeline.scoreboard import (
+    PipelineResult,
+    ScoreboardCore,
+    ScoreboardTemplate,
+)
 
 __all__ = [
     "ScoreboardCore",
+    "ScoreboardTemplate",
     "PipelineResult",
     "LoadInterferenceModel",
     "DEFAULT_LAMBDA",

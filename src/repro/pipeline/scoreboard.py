@@ -17,12 +17,27 @@ The simulator executes a straight-line program (optionally repeated to reach
 steady state) and reports total cycles plus a breakdown of stall causes.
 This is what validates the rotation distance-7 / schedule distance-9 results
 and quantifies the Fig. 13 no-rotation penalty.
+
+Two execution paths produce bit-identical results:
+
+- :meth:`ScoreboardCore.run` — the per-instruction reference interpreter;
+- :meth:`ScoreboardCore.run_compiled` — the template engine behind the
+  compiled timed-execution path. A program is compiled once into a
+  :class:`ScoreboardTemplate` (register reads/writes as index tuples, pipe
+  classes, static latencies); whole template executions then advance
+  through a memo keyed on the normalized scoreboard state at the template
+  boundary plus the execution's per-load latencies. In steady state —
+  where the register kernel spends nearly all of its iterations — every
+  body is one dictionary hit instead of hundreds of interpreted issue
+  steps; irregular iterations (cold caches, latency transients) fall back
+  to the same scalar stepping the memo entries are recorded from, so the
+  compiled path is exact by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.params import CoreParams
 from repro.errors import SimulationError
@@ -65,6 +80,164 @@ class PipelineResult:
         """Fraction of the core's peak FLOP rate achieved."""
         peak = core.flops_per_cycle
         return self.flops_per_cycle / peak if peak else 0.0
+
+
+#: Instruction-class codes used by :class:`ScoreboardTemplate`.
+_FMLA, _FADDP, _LDR, _STR, _PRFM, _NOP = range(6)
+
+_CODE_OF = {
+    Mnemonic.FMLA: _FMLA,
+    Mnemonic.FADDP: _FADDP,
+    Mnemonic.LDR: _LDR,
+    Mnemonic.STR: _STR,
+    Mnemonic.PRFM: _PRFM,
+    Mnemonic.NOP: _NOP,
+}
+
+
+def _encode_reg(reg: object) -> int:
+    """Registers as small ints: VReg n -> n, XReg n -> 32 + n."""
+    if isinstance(reg, VReg):
+        return reg.index
+    if isinstance(reg, XReg):
+        return 32 + reg.index
+    raise SimulationError(f"cannot encode register {reg!r}")
+
+
+class ScoreboardTemplate:
+    """A program lowered to per-instruction issue metadata.
+
+    Compiling hoists everything :meth:`ScoreboardCore.run` recomputes per
+    dynamic instruction — ``reads()``/``writes()`` frozensets, mnemonic
+    dispatch, flop counts — into flat tuples walked by the compiled
+    stepper. Templates are core-independent; static latencies are resolved
+    by the executing :class:`ScoreboardCore`.
+
+    Attributes:
+        codes: Per-instruction class code (FMLA/FADDP/LDR/STR/PRFM/NOP).
+        reads: Per-instruction tuple of encoded source registers.
+        writes: Per-instruction tuple of ``(encoded_reg, is_xreg)`` pairs.
+        flops: Per-instruction flop counts.
+        load_positions: Indices of the LDR instructions, in program order.
+        regs: Sorted universe of encoded registers the program touches.
+    """
+
+    __slots__ = (
+        "codes", "reads", "writes", "flops", "load_positions", "regs",
+        "size", "total_flops", "n_loads",
+    )
+
+    def __init__(self, instructions: Sequence[Instruction]) -> None:
+        codes: List[int] = []
+        reads: List[Tuple[int, ...]] = []
+        writes: List[Tuple[Tuple[int, bool], ...]] = []
+        flops: List[int] = []
+        load_positions: List[int] = []
+        universe = set()
+        for idx, instr in enumerate(instructions):
+            code = _CODE_OF[instr.mnemonic]
+            codes.append(code)
+            r = tuple(sorted(_encode_reg(x) for x in instr.reads()))
+            w = tuple(
+                sorted(
+                    (_encode_reg(x), isinstance(x, XReg))
+                    for x in instr.writes()
+                )
+            )
+            reads.append(r)
+            writes.append(w)
+            flops.append(instr.flops)
+            universe.update(r)
+            universe.update(rid for rid, _ in w)
+            if code == _LDR:
+                load_positions.append(idx)
+        self.codes = tuple(codes)
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.flops = tuple(flops)
+        self.load_positions = tuple(load_positions)
+        self.regs = tuple(sorted(universe))
+        self.size = len(codes)
+        self.total_flops = sum(flops)
+        self.n_loads = len(load_positions)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class _CompiledState:
+    """Mutable scoreboard state threaded through compiled stepping."""
+
+    __slots__ = (
+        "cycle", "issued", "load_used", "store_used", "any_issued",
+        "ready", "last_read", "fma_free", "raw", "structural", "war",
+        "issue_cycles", "last_completion", "flops",
+    )
+
+    def __init__(self, fma_pipes: int) -> None:
+        self.cycle = 0
+        self.issued = 0
+        self.load_used = 0
+        self.store_used = 0
+        self.any_issued = False
+        self.ready: Dict[int, int] = {}
+        self.last_read: Dict[int, int] = {}
+        self.fma_free = [0] * fma_pipes
+        self.raw = 0
+        self.structural = 0
+        self.war = 0
+        self.issue_cycles = 0
+        self.last_completion = 0
+        self.flops = 0
+
+    def signature(
+        self, universe: Tuple[int, ...], enforce_war: bool
+    ) -> Tuple:
+        """Normalized (cycle-relative) state at a template boundary.
+
+        Register-ready and pipe-free times at or before the current cycle
+        are all behaviourally equivalent (every comparison is ``> cycle``),
+        so they clamp to 0; FMA pipes are symmetric, so their relative
+        free times are sorted. Two states with equal signatures evolve
+        identically under the same instruction template and latencies.
+        """
+        c = self.cycle
+        ready = self.ready
+        sig_ready = tuple(
+            rel if (rel := ready.get(r, 0) - c) > 0 else 0 for r in universe
+        )
+        sig_war = ()
+        if enforce_war:
+            last = self.last_read
+            sig_war = tuple(
+                rel if (rel := last.get(r, 0) - c) > 0 else 0
+                for r in universe
+            )
+        return (
+            self.issued,
+            self.load_used,
+            self.store_used,
+            self.any_issued,
+            sig_ready,
+            tuple(sorted(max(f - c, 0) for f in self.fma_free)),
+            sig_war,
+        )
+
+    def restore(
+        self, sig: Tuple, universe: Tuple[int, ...], enforce_war: bool
+    ) -> None:
+        """Re-enter the state class described by ``sig`` at the current
+        cycle (inverse of :meth:`signature` up to equivalence)."""
+        c = self.cycle
+        issued, load_used, store_used, any_issued, ready, fma, war = sig
+        self.issued = issued
+        self.load_used = load_used
+        self.store_used = store_used
+        self.any_issued = any_issued
+        self.ready = {r: c + rel for r, rel in zip(universe, ready)}
+        self.fma_free = [c + rel for rel in fma]
+        if enforce_war:
+            self.last_read = {r: c + rel for r, rel in zip(universe, war)}
 
 
 class ScoreboardCore:
@@ -125,7 +298,6 @@ class ScoreboardCore:
         """
         if repeat < 1:
             raise SimulationError("repeat must be >= 1")
-        stream = instructions * repeat
 
         # Ready time per register value (cycle at which the value is
         # available to consumers). Address registers (XReg) produced by
@@ -160,7 +332,17 @@ class ScoreboardCore:
             store_used = 0
             any_issued_this_cycle = False
 
-        for dyn_index, instr in enumerate(stream):
+        # The repeated stream is iterated, not materialized: dependences
+        # still carry across repetitions through ``ready``, but a large
+        # ``repeat`` no longer costs a len*repeat list copy up front.
+        dyn_stream = (
+            (i, instr)
+            for rep in range(repeat)
+            for i, instr in enumerate(
+                instructions, start=rep * len(instructions)
+            )
+        )
+        for dyn_index, instr in dyn_stream:
             while True:
                 # Structural: issue width.
                 if issued_in_cycle >= self.core.issue_width:
@@ -241,8 +423,222 @@ class ScoreboardCore:
             raw_stall_cycles=raw_stalls,
             structural_stall_cycles=structural_stalls,
             war_stall_cycles=war_stalls,
-            instructions=len(stream),
+            instructions=len(instructions) * repeat,
             flops=flops,
+        )
+
+    # -- compiled execution -------------------------------------------------
+
+    def _static_latency(self, code: int) -> int:
+        if code == _FMLA:
+            return self.core.fma_latency
+        if code == _FADDP:
+            return max(1, self.core.fma_latency - 2)
+        if code == _LDR:
+            return self.load_latency
+        return 1  # str, prfm, nop
+
+    def _step_template(
+        self,
+        template: ScoreboardTemplate,
+        lats: Tuple[int, ...],
+        st: _CompiledState,
+    ) -> int:
+        """Execute one pass over ``template`` — a verbatim transliteration
+        of :meth:`run`'s issue loop against the compiled metadata. Returns
+        the max completion cycle of the template's own instructions (0 if
+        it is empty); the caller folds it into ``st.last_completion``."""
+        core = self.core
+        issue_width = core.issue_width
+        load_ports = core.load_ports
+        throughput = core.fma_throughput_cycles
+        enforce_war = self.enforce_war
+        ready = st.ready
+        last_read = st.last_read
+        fma_free = st.fma_free
+        load_cursor = 0
+        seg_completion = 0
+
+        for pos in range(template.size):
+            code = template.codes[pos]
+            reads = template.reads[pos]
+            writes = template.writes[pos]
+            cycle = st.cycle
+            while True:
+                if st.issued >= issue_width:
+                    st.structural += 1
+                    if st.any_issued:
+                        st.issue_cycles += 1
+                    cycle += 1
+                    st.issued = st.load_used = st.store_used = 0
+                    st.any_issued = False
+                    continue
+                if code <= _FADDP and all(f > cycle for f in fma_free):
+                    st.structural += 1
+                    if st.any_issued:
+                        st.issue_cycles += 1
+                    cycle += 1
+                    st.issued = st.load_used = st.store_used = 0
+                    st.any_issued = False
+                    continue
+                if (
+                    code >= _LDR
+                    and code != _NOP
+                    and st.load_used + st.store_used >= load_ports
+                ):
+                    st.structural += 1
+                    if st.any_issued:
+                        st.issue_cycles += 1
+                    cycle += 1
+                    st.issued = st.load_used = st.store_used = 0
+                    st.any_issued = False
+                    continue
+                srcs_ready = 0
+                for r in reads:
+                    t = ready.get(r, 0)
+                    if t > srcs_ready:
+                        srcs_ready = t
+                if srcs_ready > cycle:
+                    st.raw += srcs_ready - cycle
+                    while cycle < srcs_ready:
+                        if st.any_issued:
+                            st.issue_cycles += 1
+                        cycle += 1
+                        st.issued = st.load_used = st.store_used = 0
+                        st.any_issued = False
+                    continue
+                if enforce_war:
+                    war_until = 0
+                    for r, _is_x in writes:
+                        t = last_read.get(r, 0)
+                        if t > war_until:
+                            war_until = t
+                    if war_until > cycle:
+                        st.war += war_until - cycle
+                        while cycle < war_until:
+                            if st.any_issued:
+                                st.issue_cycles += 1
+                            cycle += 1
+                            st.issued = st.load_used = st.store_used = 0
+                            st.any_issued = False
+                        continue
+                break
+            st.cycle = cycle
+
+            st.issued += 1
+            st.any_issued = True
+            if code <= _FADDP:
+                pipe = min(range(len(fma_free)), key=lambda p: fma_free[p])
+                fma_free[pipe] = cycle + throughput
+            elif code == _LDR:
+                st.load_used += 1
+            elif code != _NOP:  # str, prfm
+                st.store_used += 1
+
+            lat = self._static_latency(code)
+            if code == _LDR:
+                override = lats[load_cursor]
+                load_cursor += 1
+                if override > 0:
+                    lat = override
+            done = cycle + lat
+            for r, is_x in writes:
+                ready[r] = cycle + 1 if is_x else done
+            for r in reads:
+                if last_read.get(r, 0) < cycle:
+                    last_read[r] = cycle
+            if done > seg_completion:
+                seg_completion = done
+            st.flops += template.flops[pos]
+        return seg_completion
+
+    def run_compiled(
+        self,
+        segments: Sequence[Tuple[ScoreboardTemplate, int]],
+        load_latencies: Sequence[int],
+        memo: Optional[Dict] = None,
+    ) -> PipelineResult:
+        """Run concatenated template segments with per-load latencies.
+
+        Produces a :class:`PipelineResult` bit-identical to :meth:`run`
+        over the equivalent flat instruction stream with a ``latency_fn``
+        feeding the same per-LDR latencies.
+
+        Args:
+            segments: ``(template, repeat)`` pairs, executed back to back.
+            load_latencies: One entry per dynamic LDR across the whole
+                run, in program order; non-positive entries fall back to
+                the static load latency (matching ``latency_fn``).
+            memo: Optional cross-call memo dictionary. Entries are keyed
+                on (template, normalized state, latency tuple), so a memo
+                must only be shared between cores with identical
+                :class:`~repro.arch.params.CoreParams`, ``enforce_war``
+                and ``load_latency`` settings — e.g. across the micro
+                tiles of one GEBP.
+        """
+        if memo is None:
+            memo = {}
+        universe = tuple(
+            sorted(set().union(*(t.regs for t, _ in segments)))
+            if segments
+            else ()
+        )
+        enforce_war = self.enforce_war
+        st = _CompiledState(self.core.fma_pipes)
+        total_instructions = 0
+        cursor = 0
+        for template, repeat in segments:
+            if repeat < 0:
+                raise SimulationError("repeat must be >= 0")
+            total_instructions += template.size * repeat
+            for _rep in range(repeat):
+                lats = tuple(load_latencies[cursor:cursor + template.n_loads])
+                if len(lats) != template.n_loads:
+                    raise SimulationError(
+                        "load_latencies shorter than the dynamic LDR count"
+                    )
+                cursor += template.n_loads
+                sig = st.signature(universe, enforce_war)
+                key = (template, sig, lats)
+                hit = memo.get(key)
+                if hit is not None:
+                    (d_cycle, d_raw, d_struct, d_war, d_issue,
+                     rel_completion, new_sig) = hit
+                    entry = st.cycle
+                    st.cycle = entry + d_cycle
+                    st.raw += d_raw
+                    st.structural += d_struct
+                    st.war += d_war
+                    st.issue_cycles += d_issue
+                    if entry + rel_completion > st.last_completion:
+                        st.last_completion = entry + rel_completion
+                    st.flops += template.total_flops
+                    st.restore(new_sig, universe, enforce_war)
+                    continue
+                entry = (st.cycle, st.raw, st.structural, st.war,
+                         st.issue_cycles)
+                seg_completion = self._step_template(template, lats, st)
+                if seg_completion > st.last_completion:
+                    st.last_completion = seg_completion
+                memo[key] = (
+                    st.cycle - entry[0],
+                    st.raw - entry[1],
+                    st.structural - entry[2],
+                    st.war - entry[3],
+                    st.issue_cycles - entry[4],
+                    max(seg_completion - entry[0], 0),
+                    st.signature(universe, enforce_war),
+                )
+        if st.any_issued:
+            st.issue_cycles += 1
+        return PipelineResult(
+            cycles=max(st.last_completion, st.cycle + 1),
+            issue_cycles=st.issue_cycles,
+            raw_stall_cycles=st.raw,
+            structural_stall_cycles=st.structural,
+            war_stall_cycles=st.war,
+            instructions=total_instructions,
+            flops=st.flops,
         )
 
     def steady_state_cycles_per_iteration(

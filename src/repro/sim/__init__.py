@@ -25,6 +25,7 @@ from repro.sim.microbench import (
 from repro.sim.params import DEFAULT_SIM_PARAMS, SimParams
 from repro.sim.synthetic_trace import micro_tiles, synthesize_trace
 from repro.sim.timed_executor import (
+    TIMED_ENGINES,
     GebpTimedRun,
     TimedRun,
     run_timed_gebp,
@@ -55,6 +56,7 @@ __all__ = [
     "synthesize_trace",
     "TimedRun",
     "GebpTimedRun",
+    "TIMED_ENGINES",
     "run_timed_gebp",
     "run_timed_gebp_dual",
     "run_timed_micro_tile",

@@ -146,6 +146,52 @@ class GemmSimulator:
             spec, blk, chip=self.chip, engine=engine, **kwargs
         )
 
+    def timed_kernel(
+        self,
+        kernel: str,
+        kc: Optional[int] = None,
+        engine: str = "auto",
+        hw_late: float = 0.25,
+        seed: int = 0,
+    ):
+        """Timing-functional run of one micro-tile of ``kernel``.
+
+        The deepest level of the simulator stack: the generated kernel is
+        executed instruction by instruction (or via the bit-identical
+        compiled engine) against the cache hierarchy and scoreboard,
+        giving measured — not modeled — cycles, stalls and load-latency
+        histograms. ``kc`` defaults to the kernel's solved blocking depth
+        rounded to the unroll; operands are seeded random slivers.
+
+        Args:
+            kernel: Variant name from :data:`repro.kernels.VARIANTS`.
+            kc: Blocking depth (multiple of the kernel's unroll).
+            engine: ``auto`` | ``compiled`` | ``interpreted`` (see
+                :data:`repro.sim.timed_executor.TIMED_ENGINES`).
+            hw_late: Hardware-prefetcher lateness.
+            seed: Operand RNG seed.
+
+        Returns:
+            A :class:`repro.sim.timed_executor.TimedRun`.
+        """
+        import numpy as np
+
+        from repro.kernels.variants import get_variant
+        from repro.sim.timed_executor import run_timed_micro_tile
+
+        spec = self._resolve(kernel)
+        generated = get_variant(kernel)
+        if kc is None:
+            blk = self.default_blocking(kernel, threads=1)
+            unroll = generated.plan.unroll
+            kc = max(unroll, (blk.kc // unroll) * unroll)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((kc, spec.mr))
+        b = rng.standard_normal((kc, spec.nr))
+        return run_timed_micro_tile(
+            generated, a, b, chip=self.chip, engine=engine, hw_late=hw_late
+        )
+
     # -- per-iteration kernel cost ----------------------------------------------
 
     def kernel_group_cycles(self, spec: KernelSpec) -> float:

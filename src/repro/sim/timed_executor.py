@@ -20,7 +20,7 @@ This is the most detailed level of the simulator stack:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,15 +36,41 @@ from repro.kernels.codegen import (
     C_POINTER,
     GeneratedKernel,
 )
+from repro.kernels.compiled import CompiledKernel, compile_kernel
 from repro.kernels.execute import (
     A_BASE,
     B_BASE,
     C_BASE,
     _body_load_targets,
 )
+from repro.memory.batch import warm_region
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import SequentialPrefetcher
 from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
+
+#: Execution engines for the timed entry points. ``auto`` compiles when
+#: the kernel supports it (see :func:`repro.kernels.compiled.compilability`)
+#: and falls back to the interpreter otherwise; ``compiled`` raises on
+#: non-compilable kernels; ``interpreted`` always takes the oracle path.
+TIMED_ENGINES = ("auto", "compiled", "interpreted")
+
+
+def _resolve_engine(
+    kernel: GeneratedKernel, engine: str
+) -> Optional[CompiledKernel]:
+    """The compiled kernel to use, or ``None`` for the interpreted path."""
+    if engine not in TIMED_ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose from {TIMED_ENGINES}"
+        )
+    if engine == "interpreted":
+        return None
+    try:
+        return compile_kernel(kernel)
+    except SimulationError:
+        if engine == "compiled":
+            raise
+        return None
 
 
 @dataclass
@@ -81,6 +107,7 @@ def run_timed_micro_tile(
     hw_late: float = 0.25,
     warm_l2: bool = True,
     timing_bases: Optional[Dict[int, int]] = None,
+    engine: str = "auto",
 ) -> TimedRun:
     """Execute and time one micro-tile (GESS) on the simulated machine.
 
@@ -100,6 +127,10 @@ def run_timed_micro_tile(
             space* — lets a caller (e.g. :func:`run_timed_gebp`) place
             many slivers at their true offsets inside shared packed
             buffers while each tile's functional memory stays local.
+        engine: One of :data:`TIMED_ENGINES`. The compiled engine
+            replays precompiled value/address/issue templates and is
+            bit-identical to the interpreter on the C tile, the pipeline
+            counters and the load-latency histogram.
     """
     spec = kernel.spec
     mr, nr = spec.mr, spec.nr
@@ -107,6 +138,22 @@ def run_timed_micro_tile(
     unroll = kernel.plan.unroll
     if kc % unroll:
         raise SimulationError(f"kc={kc} must be a multiple of {unroll}")
+    compiled = _resolve_engine(kernel, engine)
+
+    # ---- timing state -----------------------------------------------------
+    h = hierarchy or MemoryHierarchy(chip)
+    line = chip.l1d.line_bytes
+    if warm_l2:
+        module_l2 = h.l2[h.module_of(core_id)]
+        warm_region(module_l2, A_BASE, (kc + unroll) * mr * DOUBLE_BYTES, line)
+        warm_region(module_l2, B_BASE, (kc + unroll) * nr * DOUBLE_BYTES, line)
+        h.reset_stats()
+
+    if compiled is not None:
+        return _run_compiled_micro_tile(
+            compiled, a_sliver, b_sliver, c_tile, chip, h, core_id,
+            hw_late, timing_bases,
+        )
 
     # ---- functional state (same layout as kernels.execute) ---------------
     memory = Memory()
@@ -118,17 +165,6 @@ def run_timed_micro_tile(
     state = MachineState()
     executor = Executor(state, memory)
 
-    # ---- timing state -----------------------------------------------------
-    h = hierarchy or MemoryHierarchy(chip)
-    if warm_l2:
-        line = chip.l1d.line_bytes
-        for base, nbytes in (
-            (A_BASE, (kc + unroll) * mr * DOUBLE_BYTES),
-            (B_BASE, (kc + unroll) * nr * DOUBLE_BYTES),
-        ):
-            for off in range(0, nbytes, line):
-                h.l2[h.module_of(core_id)].access_line((base + off) // line)
-        h.reset_stats()
     prefetcher = SequentialPrefetcher(h, core_id, late_rate=hw_late)
 
     # ---- build the dynamic stream, executing functionally and recording
@@ -223,6 +259,64 @@ def run_timed_micro_tile(
     )
 
 
+def _run_compiled_micro_tile(
+    compiled: CompiledKernel,
+    a_sliver: "np.ndarray",
+    b_sliver: "np.ndarray",
+    c_tile: Optional["np.ndarray"],
+    chip: ChipParams,
+    h: MemoryHierarchy,
+    core_id: int,
+    hw_late: float,
+    timing_bases: Optional[Dict[int, int]],
+) -> TimedRun:
+    """The compiled replay of one micro-tile (see ``engine="compiled"``).
+
+    Values, addresses and issue timing all come from per-kernel templates:
+    the C tile from the ordered accumulation, the load latencies from one
+    batched hierarchy replay of the relocated tile trace, the pipeline
+    counters from the template scoreboard. Bit-identical to the
+    interpreted path by construction (and by differential test).
+    """
+    kernel = compiled.kernel
+    spec = kernel.spec
+    kc = a_sliver.shape[0]
+    n_bodies = kc // kernel.plan.unroll
+    line = chip.l1d.line_bytes
+
+    bases = timing_bases or {}
+    trace = compiled.tile_trace(
+        n_bodies,
+        bases.get(A_POINTER.index, A_BASE),
+        bases.get(B_POINTER.index, B_BASE),
+        bases.get(C_POINTER.index, C_BASE),
+        hw_late,
+        line,
+    )
+    _levels, lat_arr = h.run_batch_levels(core_id, trace)
+    latencies = [int(x) for x in lat_arr]
+    values, counts = np.unique(lat_arr, return_counts=True)
+    histogram = {int(v): int(n) for v, n in zip(values, counts)}
+
+    core = ScoreboardCore(chip.core)
+    result = core.run_compiled(
+        compiled.segments(n_bodies),
+        latencies,
+        memo=compiled.memo_for(chip.core),
+    )
+
+    flops = kc * spec.flops_per_iter
+    peak = chip.core.flops_per_cycle
+    return TimedRun(
+        c_tile=compiled.compute_tile(a_sliver, b_sliver, c_tile),
+        cycles=result.cycles,
+        cycles_per_iteration=result.cycles / kc,
+        efficiency=(flops / result.cycles) / peak,
+        pipeline=result,
+        load_latencies=histogram,
+    )
+
+
 @dataclass
 class GebpTimedRun:
     """Result of a timed full-GEBP run.
@@ -252,6 +346,7 @@ def run_timed_gebp_dual(
     cores: Tuple[int, int] = (0, 1),
     hw_late: float = 0.25,
     hierarchy: Optional[MemoryHierarchy] = None,
+    engine: str = "auto",
 ) -> Tuple[GebpTimedRun, GebpTimedRun]:
     """Two cores of one module run their GEBPs interleaved tile-by-tile.
 
@@ -273,6 +368,8 @@ def run_timed_gebp_dual(
             afterwards (the shared L2's miss counts are where the
             overflow shows; the run's timing is optimistic because the
             timed executor treats prefetches as always timely).
+        engine: One of :data:`TIMED_ENGINES`, forwarded to every
+            micro-tile run.
 
     Returns:
         One :class:`GebpTimedRun` per core (C panels start at zero).
@@ -294,11 +391,9 @@ def run_timed_gebp_dual(
     a_bases = {cores[0]: A_BASE, cores[1]: A_BASE + (1 << 26)}
     module_l2 = h.l2[h.module_of(cores[0])]
     for cid in cores:
-        for off in range(0, na * a_sliver_bytes, line):
-            module_l2.access_line((a_bases[cid] + off) // line)
+        warm_region(module_l2, a_bases[cid], na * a_sliver_bytes, line)
     if h.l3 is not None:
-        for off in range(0, nb * b_sliver_bytes, line):
-            h.l3.access_line((B_BASE + off) // line)
+        warm_region(h.l3, B_BASE, nb * b_sliver_bytes, line)
     h.reset_stats()
 
     mc, nc = na * mr, nb * nr
@@ -330,6 +425,7 @@ def run_timed_gebp_dual(
                     hw_late=hw_late,
                     warm_l2=False,
                     timing_bases=bases,
+                    engine=engine,
                 )
                 panels[cid][
                     i * mr : (i + 1) * mr, j * nr : (j + 1) * nr
@@ -361,6 +457,7 @@ def run_timed_gebp(
     chip: ChipParams = XGENE,
     core_id: int = 0,
     hw_late: float = 0.25,
+    engine: str = "auto",
 ) -> GebpTimedRun:
     """Execute and time a whole GEBP (layers 5-7) on one simulated core.
 
@@ -380,6 +477,8 @@ def run_timed_gebp(
         chip: Architecture.
         core_id: Executing core.
         hw_late: Hardware-prefetcher lateness.
+        engine: One of :data:`TIMED_ENGINES`, forwarded to every
+            micro-tile run.
     """
     spec = kernel.spec
     mr, nr = spec.mr, spec.nr
@@ -400,11 +499,11 @@ def run_timed_gebp(
     elem = 8
     a_bytes_per_sliver = kc * mr * elem
     b_bytes_per_sliver = kc * nr * elem
-    for off in range(0, na * a_bytes_per_sliver, line):
-        h.l2[h.module_of(core_id)].access_line((A_BASE + off) // line)
+    warm_region(
+        h.l2[h.module_of(core_id)], A_BASE, na * a_bytes_per_sliver, line
+    )
     if h.l3 is not None:
-        for off in range(0, nb * b_bytes_per_sliver, line):
-            h.l3.access_line((B_BASE + off) // line)
+        warm_region(h.l3, B_BASE, nb * b_bytes_per_sliver, line)
     h.reset_stats()
 
     tile_cycles: List[int] = []
@@ -429,6 +528,7 @@ def run_timed_gebp(
                 hw_late=hw_late,
                 warm_l2=False,
                 timing_bases=bases,
+                engine=engine,
             )
             c_panel[i * mr : (i + 1) * mr, j * nr : (j + 1) * nr] = run.c_tile
             tile_cycles.append(run.cycles)

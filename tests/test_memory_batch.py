@@ -26,6 +26,7 @@ from repro.memory import (
     contiguous_trace,
     run_trace,
     strided_matrix_trace,
+    warm_region,
 )
 from repro.memory.cache import CODE_LOAD, CODE_PREFETCH, CODE_STORE
 from repro.sim import gebp_traces, simulate_gebp_cache
@@ -370,3 +371,41 @@ class TestGebpEngineWiring:
         assert 0.0 < res.l1_load_miss_rate < 0.2
         with pytest.raises(SimulationError):
             sim.cache_sim("bogus")
+
+
+class TestWarmRegion:
+    """warm_region must be indistinguishable from the per-line loop."""
+
+    def _pair(self):
+        return Cache(XGENE.l2), Cache(XGENE.l2)
+
+    def test_state_and_stats_match_scalar_loop(self):
+        batched, scalar = self._pair()
+        base, nbytes, lb = 0x40000 + 24, 9 * 1024 + 40, XGENE.l2.line_bytes
+        warm_region(batched, base, nbytes, lb)
+        for off in range(0, nbytes, lb):
+            scalar.access_line((base + off) // lb)
+        assert batched.stats.accesses == scalar.stats.accesses
+        assert batched.stats.misses == scalar.stats.misses
+        # Probing every warmed line hits on both caches identically.
+        for off in range(0, nbytes, lb):
+            line = (base + off) // lb
+            assert batched.access_line(line) == scalar.access_line(line)
+
+    def test_empty_region_is_a_no_op(self):
+        cache = Cache(XGENE.l1d)
+        warm_region(cache, 0x1000, 0, XGENE.l1d.line_bytes)
+        assert cache.stats.accesses == 0
+
+    def test_capacity_eviction_matches(self):
+        """Warming past capacity evicts the same lines in both paths."""
+        batched, scalar = self._pair()
+        lb = XGENE.l2.line_bytes
+        nbytes = XGENE.l2.size_bytes + 16 * lb
+        warm_region(batched, 0, nbytes, lb)
+        for off in range(0, nbytes, lb):
+            scalar.access_line(off // lb)
+        probes = [0, 7, nbytes // lb - 1]
+        for line in probes:
+            assert batched.access_line(line) == scalar.access_line(line)
+        assert batched.stats == scalar.stats

@@ -185,3 +185,58 @@ class TestTlb:
         t.reset_stats()
         assert t.stats.accesses == 0
         assert t.access_page(1) is False
+
+
+class TestRunBatchLevels:
+    """Per-access level/latency replay vs the scalar engine oracle."""
+
+    def _trace(self, seed=0, n=400):
+        import numpy as np
+
+        from repro.memory import BatchTrace
+        from repro.memory.cache import CODE_LOAD, CODE_PREFETCH, CODE_STORE
+
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(n):
+            r = rng.random()
+            addr = int(rng.integers(0, 1 << 16))
+            if r < 0.15:
+                rows.append((addr, 1, CODE_PREFETCH,
+                             int(rng.integers(1, 4))))
+            elif r < 0.3:
+                rows.append((addr, 8, CODE_STORE, 1))
+            else:
+                # Widths up to 96 bytes cross line boundaries.
+                rows.append((addr, int(rng.integers(1, 96)), CODE_LOAD, 1))
+        return BatchTrace.from_rows(rows)
+
+    def _compare(self, with_tlb):
+        import numpy as np
+
+        trace = self._trace()
+        h_fast = MemoryHierarchy(XGENE, with_tlb=with_tlb)
+        h_ref = MemoryHierarchy(XGENE, with_tlb=with_tlb)
+        lv_fast, lat_fast = h_fast.run_batch_levels(0, trace)
+        lv_ref, lat_ref = h_ref.run_batch_levels(0, trace, force_scalar=True)
+        assert np.array_equal(lv_fast, lv_ref)
+        assert np.array_equal(lat_fast, lat_ref)
+        assert h_fast.l1_stats(0) == h_ref.l1_stats(0)
+        assert h_fast.l2_stats(0) == h_ref.l2_stats(0)
+        assert h_fast.l3_stats() == h_ref.l3_stats()
+        assert h_fast.dram_accesses == h_ref.dram_accesses
+
+    def test_matches_scalar_engine(self):
+        self._compare(with_tlb=False)
+
+    def test_matches_scalar_engine_with_tlb(self):
+        self._compare(with_tlb=True)
+
+    def test_prefetch_level_out_of_range(self):
+        from repro.memory import BatchTrace
+        from repro.memory.cache import CODE_PREFETCH
+
+        h = MemoryHierarchy(XGENE)
+        trace = BatchTrace.from_rows([(0, 1, CODE_PREFETCH, 9)])
+        with pytest.raises(SimulationError):
+            h.run_batch_levels(0, trace)
