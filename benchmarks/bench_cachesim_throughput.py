@@ -25,13 +25,14 @@ import dataclasses
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from conftest import save_report
+from conftest import save_json, save_report
 
 from repro.analysis import format_table
 from repro.arch import XGENE
 from repro.blocking import solve_cache_blocking
 from repro.kernels.kernel_spec import PAPER_KERNELS
 from repro.memory import MemoryHierarchy
+from repro.obs import RunReport
 from repro.sim import gebp_traces, simulate_gebp_cache
 
 FULL_POINTS = (
@@ -141,10 +142,45 @@ def format_report(rows: Sequence[ThroughputRow], label: str) -> str:
     )
 
 
+def build_report(rows: Sequence[ThroughputRow], label: str) -> RunReport:
+    """The machine-readable counterpart of :func:`format_report`.
+
+    Wall-clock fields use ``_seconds`` names so the baseline comparator
+    skips them; access counts, fallback counts and the bit-identical
+    flag are the deterministic regression surface.
+    """
+    import time
+
+    return RunReport(
+        command="bench_cachesim_throughput",
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        params={"label": label},
+        engines={
+            e: {"requested": e, "selected": e, "fallback_reason": None}
+            for e in ("scalar", "batched")
+        },
+        stats={
+            "rows": {
+                f"{r.kernel}@{r.threads}": {
+                    "accesses": r.accesses,
+                    "identical": r.identical,
+                    "l1_fallback": r.l1_fallback,
+                    "scalar_seconds": r.scalar_s,
+                    "batched_seconds": r.batched_s,
+                }
+                for r in rows
+            },
+            "aggregate": {"speedup_seconds": aggregate_speedup(rows)},
+        },
+    )
+
+
 def test_cachesim_throughput(benchmark, report_dir):
     rows = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
     text = format_report(rows, "Table VII points")
     save_report(report_dir, "cachesim_throughput", text)
+    save_json(report_dir, "cachesim_throughput",
+              build_report(rows, "Table VII points"))
     check_rows(rows, MIN_SPEEDUP_FULL)
 
 
@@ -155,10 +191,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="short slice, relaxed speedup floor, no results file "
              "(the CI gate)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write a structured RunReport document to PATH",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         rows = run_throughput(SMOKE_POINTS, nc_slice=SMOKE_NC_SLICE)
         print(format_report(rows, "smoke"))
+        if args.json:
+            build_report(rows, "smoke").write(args.json)
+            print(f"wrote {args.json}")
         check_rows(rows, MIN_SPEEDUP_SMOKE)
     else:
         rows = run_throughput()
@@ -168,6 +211,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out = pathlib.Path(__file__).parent / "results"
         out.mkdir(exist_ok=True)
         save_report(out, "cachesim_throughput", text)
+        report = build_report(rows, "Table VII points")
+        if args.json:
+            report.write(args.json)
+            print(f"wrote {args.json}")
+        else:
+            save_json(out, "cachesim_throughput", report)
         check_rows(rows, MIN_SPEEDUP_FULL)
     print("ok")
     return 0

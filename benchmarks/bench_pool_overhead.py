@@ -22,9 +22,10 @@ import time
 
 import numpy as np
 
-from conftest import save_report
+from conftest import save_json, save_report
 
 from repro.analysis import format_table
+from repro.obs import RunReport
 from repro.blocking import CacheBlocking
 from repro.gemm import (
     GemmTrace,
@@ -108,6 +109,25 @@ def test_bench_pool_overhead(benchmark, report_dir):
               f"{REPS}-call loop, best of 3)",
     )
     save_report(report_dir, "pool_overhead", text)
+    save_json(report_dir, "pool_overhead", RunReport(
+        command="bench_pool_overhead",
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        params={"threads": THREADS, "reps": REPS, "size": SIZE},
+        engines={"pool": {"requested": "persistent",
+                          "selected": "persistent",
+                          "fallback_reason": None}},
+        stats={
+            "exact": {"spawn": res["spawn_exact"],
+                      "pool": res["pool_exact"]},
+            "timing": {
+                "inline_seconds": res["inline_s"],
+                "spawn_seconds": res["spawn_s"],
+                "pool_seconds": res["pool_s"],
+                "spawn_overhead_seconds": res["spawn_overhead_s"],
+                "pool_overhead_seconds": res["pool_overhead_s"],
+            },
+        },
+    ))
 
     # Threaded execution stays bit-identical to the serial driver.
     assert res["spawn_exact"] and res["pool_exact"]

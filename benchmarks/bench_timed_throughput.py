@@ -24,12 +24,13 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
-from conftest import save_report
+from conftest import save_json, save_report
 
 from repro.analysis import format_table
 from repro.arch import XGENE
 from repro.blocking import solve_cache_blocking
 from repro.kernels import get_variant
+from repro.obs import RunReport
 from repro.sim import run_timed_gebp, run_timed_micro_tile
 
 FULL_POINTS = (
@@ -152,10 +153,45 @@ def format_report(rows: Sequence[ThroughputRow], label: str) -> str:
     )
 
 
+def build_report(rows: Sequence[ThroughputRow], label: str) -> RunReport:
+    """The machine-readable counterpart of :func:`format_report`.
+
+    Wall-clock fields use ``_seconds`` names so the baseline comparator
+    skips them; the deterministic counters (tiles, k-iterations, the
+    bit-identical flag) are what regressions are judged on.
+    """
+    import time
+
+    return RunReport(
+        command="bench_timed_throughput",
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        params={"label": label},
+        engines={
+            e: {"requested": e, "selected": e, "fallback_reason": None}
+            for e in ("interpreted", "compiled")
+        },
+        stats={
+            "rows": {
+                r.kernel: {
+                    "tiles": r.tiles,
+                    "k_iters": r.k_iters,
+                    "identical": r.identical,
+                    "interpreted_seconds": r.interpreted_s,
+                    "compiled_seconds": r.compiled_s,
+                }
+                for r in rows
+            },
+            "aggregate": {"speedup_seconds": aggregate_speedup(rows)},
+        },
+    )
+
+
 def test_timed_throughput(benchmark, report_dir):
     rows = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
     text = format_report(rows, "Table V cross-validation kernels")
     save_report(report_dir, "timed_throughput", text)
+    save_json(report_dir, "timed_throughput",
+              build_report(rows, "Table V cross-validation kernels"))
     check_rows(rows, MIN_SPEEDUP_FULL)
 
 
@@ -166,10 +202,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="short slice, relaxed speedup floor, no results file "
              "(the CI gate)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write a structured RunReport document to PATH",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         rows = run_throughput(SMOKE_POINTS)
         print(format_report(rows, "smoke"))
+        if args.json:
+            build_report(rows, "smoke").write(args.json)
+            print(f"wrote {args.json}")
         check_rows(rows, MIN_SPEEDUP_SMOKE)
     else:
         rows = run_throughput()
@@ -179,6 +222,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out = pathlib.Path(__file__).parent / "results"
         out.mkdir(exist_ok=True)
         save_report(out, "timed_throughput", text)
+        report = build_report(rows, "Table V cross-validation kernels")
+        if args.json:
+            report.write(args.json)
+            print(f"wrote {args.json}")
+        else:
+            save_json(out, "timed_throughput", report)
         check_rows(rows, MIN_SPEEDUP_FULL)
     print("ok")
     return 0

@@ -25,3 +25,10 @@ def report_dir() -> pathlib.Path:
 def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
     (report_dir / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def save_json(report_dir: pathlib.Path, name: str, report) -> None:
+    """Write a :class:`repro.obs.RunReport` next to the text exhibit."""
+    path = report_dir / f"{name}.json"
+    report.write(str(path))
+    print(f"[saved to benchmarks/results/{name}.json]")

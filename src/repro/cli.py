@@ -10,16 +10,22 @@ Exposes the library's main entry points without writing Python::
     repro timed --kernel OpenBLAS-8x6          # timed run, both engines
     repro pool --threads 4                     # worker-pool engine timing
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
+    repro report out.json                      # render a structured report
+    repro report --diff baseline.json out.json # regression comparison
 
-All subcommands print plain text; ``main`` returns a process exit code so
-it can be unit-tested directly.
+All subcommands print plain text and accept ``--json <path>`` to also
+write a structured, schema-versioned :class:`~repro.obs.RunReport`
+(engine selections, metric counters, stat-object snapshots) — the input
+of ``repro report``. ``main`` returns a process exit code so it can be
+unit-tested directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from repro._version import __version__
 from repro.analysis.report import format_series, format_table
@@ -28,8 +34,36 @@ from repro.blocking.cache_blocking import solve_cache_blocking
 from repro.blocking.register_blocking import RegisterBlockingProblem
 from repro.errors import ReproError
 from repro.kernels.variants import VARIANTS, get_variant
+from repro.obs import MetricsRegistry, RunReport
 from repro.sim.gemm_sim import GemmSimulator
 from repro.sim.microbench import run_microbench
+
+
+def _wants_report(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "json", None))
+
+
+def _emit_report(
+    args: argparse.Namespace,
+    command: str,
+    params: Dict[str, Any],
+    engines: Optional[Dict[str, Dict[str, Any]]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    stats: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a validated RunReport to ``args.json`` when requested."""
+    if not _wants_report(args):
+        return
+    report = RunReport(
+        command=command,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        params=params,
+        engines=engines or {},
+        metrics=metrics.as_dict() if metrics is not None else {},
+        stats=stats or {},
+    )
+    report.write(args.json)
+    print(f"wrote {args.json}")
 
 
 def _cmd_blocks(args: argparse.Namespace) -> int:
@@ -44,6 +78,14 @@ def _cmd_blocks(args: argparse.Namespace) -> int:
     blk = solve_cache_blocking(chip, mr, nr, threads=args.threads)
     print(f"cache blocking for {args.threads} thread(s) on {chip.name}: "
           f"{blk}  (k1={blk.k1}, k2={blk.k2}, k3={blk.k3})")
+    _emit_report(
+        args, "blocks",
+        params={"mr": mr, "nr": nr, "threads": args.threads},
+        stats={"blocking": {
+            "mr": blk.mr, "nr": blk.nr, "kc": blk.kc, "mc": blk.mc,
+            "nc": blk.nc, "k1": blk.k1, "k2": blk.k2, "k3": blk.k3,
+        }},
+    )
     return 0
 
 
@@ -57,11 +99,24 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     print(f"// rotation distance {kernel.plan.min_distance}, "
           f"schedule distance {kernel.schedule.min_load_use_distance}")
     print(body.to_text())
+    _emit_report(
+        args, "kernel",
+        params={"variant": args.variant, "kc": args.kc},
+        stats={"body": {
+            "instructions": len(body),
+            "fmla": body.num_fmla,
+            "ldr": body.num_loads,
+            "prfm": body.num_prefetches,
+            "rotation_distance": kernel.plan.min_distance,
+            "schedule_distance": kernel.schedule.min_load_use_distance,
+        }},
+    )
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    sim = GemmSimulator(XGENE)
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    sim = GemmSimulator(XGENE, metrics=metrics)
     m = args.m or args.size
     n = args.n or args.size
     k = args.k or args.size
@@ -76,10 +131,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if name == "bandwidth_floor":
             continue
         print(f"  {name:10s} {cycles / max(total, 1):6.1%} of modeled cycles")
+    _emit_report(
+        args, "simulate",
+        params={"kernel": args.kernel, "m": m, "n": n, "k": k,
+                "threads": args.threads},
+        engines={"model": {"requested": "analytic", "selected": "analytic",
+                           "fallback_reason": None}},
+        metrics=metrics,
+        stats={"performance": {
+            "cycles": perf.cycles,
+            "flops": perf.flops,
+            "gflops": perf.gflops,
+            "efficiency": perf.efficiency,
+            "l1_loads": perf.l1_loads,
+            "breakdown": dict(perf.breakdown),
+        }},
+    )
     return 0
 
 
-def _cmd_microbench(_args: argparse.Namespace) -> int:
+def _cmd_microbench(args: argparse.Namespace) -> int:
     rows = run_microbench()
     print(format_table(
         ["LDR:FMLA", "model %", "paper %"],
@@ -87,6 +158,17 @@ def _cmd_microbench(_args: argparse.Namespace) -> int:
          for r in rows],
         title="Table IV ladder",
     ))
+    _emit_report(
+        args, "microbench",
+        params={},
+        stats={"ladder": {
+            r.ratio_label: {
+                "model_efficiency": r.model_efficiency,
+                "paper_efficiency": r.paper_efficiency,
+            }
+            for r in rows
+        }},
+    )
     return 0
 
 
@@ -149,6 +231,24 @@ def _cmd_pool(args: argparse.Namespace) -> int:
         stats.summary_rows(),
         title="per-thread counters (one call)",
     ))
+    from repro.obs import snapshot_pool_stats
+
+    _emit_report(
+        args, "pool",
+        params={"threads": args.threads, "size": args.size,
+                "reps": args.reps},
+        engines={"pool": {"requested": "persistent",
+                          "selected": "persistent",
+                          "fallback_reason": None}},
+        stats={
+            "pool": snapshot_pool_stats(stats),
+            "timing": {
+                "spawn_seconds": spawn_s,
+                "pool_seconds": pool_s,
+                "speedup": spawn_s / pool_s,
+            },
+        },
+    )
     return 0
 
 
@@ -174,14 +274,17 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
     line = XGENE.l1d.line_bytes
     accesses = warm.line_count(line) + main_trace.line_count(line)
 
+    metrics = MetricsRegistry() if _wants_report(args) else None
     results = {}
     timings = {}
+    hierarchies = {}
     for engine in ("scalar", "batched"):
         h = MemoryHierarchy(XGENE, seed=0)
+        hierarchies[engine] = h
         t0 = time.perf_counter()
         results[engine] = simulate_gebp_cache(
             spec, blk, chip=XGENE, hierarchy=h,
-            nc_slice=args.nc_slice, engine=engine,
+            nc_slice=args.nc_slice, engine=engine, metrics=metrics,
         )
         timings[engine] = time.perf_counter() - t0
 
@@ -200,6 +303,23 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
     print(f"L1: {r.l1_loads} loads, {r.l1_load_misses} misses "
           f"({r.l1_load_miss_rate:.2%}); L2: {r.l2_loads} loads, "
           f"{r.l2_load_misses} misses; DRAM: {r.dram_accesses} lines")
+    from repro.obs import snapshot_gebp_cache_result, snapshot_hierarchy
+
+    _emit_report(
+        args, "cachesim",
+        params={"kernel": args.kernel, "threads": args.threads,
+                "nc_slice": args.nc_slice},
+        engines={
+            e: {"requested": e, "selected": e, "fallback_reason": None}
+            for e in results
+        },
+        metrics=metrics,
+        stats={
+            "result": snapshot_gebp_cache_result(r),
+            "hierarchy": snapshot_hierarchy(hierarchies["batched"]),
+            "identical": identical,
+        },
+    )
     if not identical:
         print("error: engines disagree", file=sys.stderr)
         return 1
@@ -209,31 +329,42 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
 def _cmd_timed(args: argparse.Namespace) -> int:
     """Timing-functional kernel run, comparing execution engines.
 
-    Runs one micro-tile of the chosen variant through the interpreted
-    oracle and the compiled template engine, checks every observable
-    (cycles, stall breakdown, load-latency histogram, C values) is
-    bit-identical, and prints the timing detail plus engine throughput.
+    With ``--engine both`` (the default) runs one micro-tile of the
+    chosen variant through the interpreted oracle and the compiled
+    template engine, checks every observable (cycles, stall breakdown,
+    load-latency histogram, C values) is bit-identical, and prints the
+    timing detail plus engine throughput. With a single engine runs only
+    that one — ``auto`` reports when (and why) it fell back to the
+    interpreter on a non-compilable kernel.
     """
     import time
 
     import numpy as np
 
-    sim = GemmSimulator(XGENE)
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    sim = GemmSimulator(XGENE, metrics=metrics)
+    engine_list = (
+        ["interpreted", "compiled"]
+        if args.engine == "both"
+        else [args.engine]
+    )
     runs = {}
     timings = {}
-    for engine in ("interpreted", "compiled"):
+    for engine in engine_list:
         t0 = time.perf_counter()
         runs[engine] = sim.timed_kernel(
             args.kernel, kc=args.kc, engine=engine, hw_late=args.hw_late
         )
         timings[engine] = time.perf_counter() - t0
-    ri, rc = runs["interpreted"], runs["compiled"]
-    identical = (
-        ri.pipeline == rc.pipeline
-        and ri.load_latencies == rc.load_latencies
-        and np.array_equal(ri.c_tile, rc.c_tile)
-    )
-    r = rc
+    identical = True
+    if args.engine == "both":
+        ri, rc = runs["interpreted"], runs["compiled"]
+        identical = (
+            ri.pipeline == rc.pipeline
+            and ri.load_latencies == rc.load_latencies
+            and np.array_equal(ri.c_tile, rc.c_tile)
+        )
+    r = runs[engine_list[-1]]
     kc = args.kc or round(r.cycles / r.cycles_per_iteration)
     print(f"{args.kernel}, kc={kc}: {r.cycles} cycles "
           f"({r.cycles_per_iteration:.3f}/iter), "
@@ -251,8 +382,31 @@ def _cmd_timed(args: argparse.Namespace) -> int:
         [[e, timings[e], kc / timings[e]] for e in runs],
         title="engine timing",
     ))
-    print(f"speedup: {timings['interpreted'] / timings['compiled']:.1f}x, "
-          f"bit-identical: {identical}")
+    if args.engine == "both":
+        print(f"speedup: "
+              f"{timings['interpreted'] / timings['compiled']:.1f}x, "
+              f"bit-identical: {identical}")
+    else:
+        print(f"engine: {r.engine} (requested {args.engine})")
+        if r.fallback_reason is not None:
+            print(f"auto fell back to the interpreter: {r.fallback_reason}")
+    from repro.obs import snapshot_timed_run
+
+    _emit_report(
+        args, "timed",
+        params={"kernel": args.kernel, "kc": kc, "hw_late": args.hw_late,
+                "engine": args.engine},
+        engines={
+            e: {"requested": args.engine, "selected": run.engine,
+                "fallback_reason": run.fallback_reason}
+            for e, run in runs.items()
+        },
+        metrics=metrics,
+        stats={
+            "run": snapshot_timed_run(r),
+            "identical": identical,
+        },
+    )
     if not identical:
         print("error: engines disagree", file=sys.stderr)
         return 1
@@ -260,7 +414,8 @@ def _cmd_timed(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    sim = GemmSimulator(XGENE)
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    sim = GemmSimulator(XGENE, metrics=metrics)
     sizes = list(range(args.start, args.stop + 1, args.step))
     series = []
     for kernel in args.kernels:
@@ -271,6 +426,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         series.append((kernel, gfs))
     print(format_series(sizes, series, x_label="size",
                         title=f"Gflops vs size ({args.threads} thread(s))"))
+    _emit_report(
+        args, "sweep",
+        params={"kernels": list(args.kernels), "threads": args.threads,
+                "start": args.start, "stop": args.stop, "step": args.step},
+        metrics=metrics,
+        stats={"gflops": {
+            kernel: {str(s): gf for s, gf in zip(sizes, gfs)}
+            for kernel, gfs in series
+        }},
+    )
     return 0
 
 
@@ -361,6 +526,107 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         [[k, t, mr * 100, pr * 100] for k, t, mr, pr in table7_miss_rates()],
         title="Table VII"))
     print(f"all exhibits written to {out}/")
+    _emit_report(
+        args, "experiments",
+        params={"out": str(out), "start": args.start, "stop": args.stop,
+                "step": args.step},
+        stats={"exhibits": {
+            p.stem: True for p in sorted(out.glob("*.txt"))
+        }},
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render, validate, or diff structured run reports.
+
+    ``repro report out.json`` renders a report; ``--validate`` checks it
+    against the schema only; ``--diff BASELINE CURRENT`` runs the
+    regression comparator and exits nonzero on regressions (suppress
+    with ``--warn-only``).
+    """
+    import json
+
+    from repro.obs import (
+        compare_files,
+        flatten,
+        format_comparison,
+        load_report_dict,
+        validate_report,
+    )
+
+    if args.diff is not None:
+        baseline_path, current_path = args.diff
+        comp = compare_files(
+            baseline_path, current_path, tolerance=args.tolerance
+        )
+        print(format_comparison(comp, baseline_path, current_path))
+        if args.json:
+            doc = {
+                "baseline": baseline_path,
+                "current": current_path,
+                "tolerance": args.tolerance,
+                "checked": comp.checked,
+                "skipped": comp.skipped,
+                "findings": [
+                    {"path": f.path, "kind": f.kind, "note": f.note,
+                     "baseline": f.baseline, "current": f.current}
+                    for f in comp.findings
+                ],
+            }
+            with open(args.json, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        if comp.regressions and not args.warn_only:
+            return 1
+        return 0
+
+    if args.path is None:
+        raise ReproError("report needs a file path or --diff A B")
+    doc = load_report_dict(args.path)
+    problems = validate_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.path}: valid (schema version "
+              f"{doc['schema_version']})")
+        return 0
+    print(f"{doc['command']} report (schema {doc['schema_version']}, "
+          f"created {doc.get('created') or 'n/a'})")
+    if doc.get("params"):
+        print("params: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(doc["params"].items())
+        ))
+    for slot, entry in sorted(doc.get("engines", {}).items()):
+        line = (f"engine {slot}: requested {entry.get('requested', '?')}, "
+                f"selected {entry.get('selected', '?')}")
+        if entry.get("fallback_reason"):
+            line += f" (fallback: {entry['fallback_reason']})"
+        print(line)
+    rows = [
+        [path, value]
+        for path, value in sorted(flatten(doc.get("stats", {})))
+    ]
+    if rows:
+        print(format_table(["stat", "value"], rows, title="stats"))
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters:
+        print(format_table(
+            ["counter", "value"],
+            [[k, v] for k, v in sorted(counters.items())],
+            title="metric counters",
+        ))
+    spans = doc.get("metrics", {}).get("spans", {})
+    if spans:
+        print(format_table(
+            ["span", "count", "seconds"],
+            [[k, s.get("count", 0), s.get("seconds", 0.0)]
+             for k, s in sorted(spans.items())],
+            title="span timers",
+        ))
     return 0
 
 
@@ -372,16 +638,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="also write a structured RunReport document to PATH",
+        )
+
     p = sub.add_parser("blocks", help="derive block sizes analytically")
     p.add_argument("--mr", type=int, default=None)
     p.add_argument("--nr", type=int, default=None)
     p.add_argument("--threads", type=int, default=1)
+    add_json(p)
     p.set_defaults(func=_cmd_blocks)
 
     p = sub.add_parser("kernel", help="emit register-kernel assembly")
     p.add_argument("--variant", default="OpenBLAS-8x6",
                    choices=sorted(VARIANTS))
     p.add_argument("--kc", type=int, default=512)
+    add_json(p)
     p.set_defaults(func=_cmd_kernel)
 
     p = sub.add_parser("simulate", help="predict DGEMM performance")
@@ -392,9 +666,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=None)
     p.add_argument("-k", type=int, default=None)
     p.add_argument("--threads", type=int, default=1)
+    add_json(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("microbench", help="the Table IV LDR:FMLA ladder")
+    add_json(p)
     p.set_defaults(func=_cmd_microbench)
 
     p = sub.add_parser(
@@ -405,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=256)
     p.add_argument("--stop", type=int, default=6400)
     p.add_argument("--step", type=int, default=512)
+    add_json(p)
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser(
@@ -415,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--size", type=int, default=160)
     p.add_argument("--reps", type=int, default=10)
+    add_json(p)
     p.set_defaults(func=_cmd_pool)
 
     p = sub.add_parser(
@@ -426,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(VARIANTS))
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--nc-slice", type=int, default=None)
+    add_json(p)
     p.set_defaults(func=_cmd_cachesim)
 
     p = sub.add_parser(
@@ -437,6 +716,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(VARIANTS))
     p.add_argument("--kc", type=int, default=None)
     p.add_argument("--hw-late", type=float, default=0.25)
+    p.add_argument("--engine", default="both",
+                   choices=["both", "auto", "compiled", "interpreted"],
+                   help="run both engines and cross-check (default), or "
+                        "a single one; 'auto' reports its fallback reason")
+    add_json(p)
     p.set_defaults(func=_cmd_timed)
 
     p = sub.add_parser("sweep", help="Gflops vs matrix size")
@@ -447,7 +731,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=256)
     p.add_argument("--stop", type=int, default=4096)
     p.add_argument("--step", type=int, default=512)
+    add_json(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "report",
+        help="render, validate, or diff structured run reports",
+    )
+    p.add_argument("path", nargs="?", default=None,
+                   help="report file to render")
+    p.add_argument("--validate", action="store_true",
+                   help="only check the file against the schema")
+    p.add_argument("--diff", nargs=2, metavar=("BASELINE", "CURRENT"),
+                   default=None,
+                   help="compare two reports; exit nonzero on regressions")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative tolerance for float comparisons")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0")
+    add_json(p)
+    p.set_defaults(func=_cmd_report)
     return parser
 
 

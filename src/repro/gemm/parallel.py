@@ -49,6 +49,7 @@ from repro.gemm.packing import pack_a, pack_b
 from repro.gemm.pool import PoolStats, WorkerPool, get_shared_pool
 from repro.gemm.trace import GemmTrace
 from repro.gemm.workspace import GemmWorkspace, get_shared_workspace
+from repro.obs.metrics import MetricsRegistry
 
 _clock = time.perf_counter
 
@@ -139,6 +140,7 @@ def parallel_dgemm(
     pool: Union[None, str, WorkerPool] = None,
     workspace: Optional[GemmWorkspace] = None,
     stats: Optional[PoolStats] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> "np.ndarray":
     """Layer-3-parallel DGEMM: ``C := alpha * A @ B + beta * C``.
 
@@ -170,6 +172,9 @@ def parallel_dgemm(
             panel iterations (and repeated calls) allocate nothing.
         stats: Optional :class:`~repro.gemm.pool.PoolStats` receiving
             per-thread pack/GEBP wall-clock counters and step counts.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving call counters and a whole-call span timer. ``None``
+            (the default) adds no work to the hot loops.
 
     Returns:
         The updated C.
@@ -202,7 +207,18 @@ def parallel_dgemm(
     if stats is not None:
         stats.calls += 1
     run = _run_axis_m if axis == "m" else _run_axis_n
-    run(a, b, c_arr, threads, alpha, beta, blk, trace, ws, stats, executor)
+    if metrics is not None:
+        metrics.inc("parallel.calls")
+        metrics.inc(f"parallel.axis.{axis}")
+        metrics.set_gauge("parallel.threads", threads)
+        metrics.observe("parallel.flops", 2.0 * m * n * k)
+        with metrics.span("parallel.dgemm"):
+            run(
+                a, b, c_arr, threads, alpha, beta, blk, trace, ws,
+                stats, executor,
+            )
+    else:
+        run(a, b, c_arr, threads, alpha, beta, blk, trace, ws, stats, executor)
     return c_arr
 
 

@@ -49,6 +49,25 @@ class ThreadCounters:
     def busy_seconds(self) -> float:
         return self.pack_a_seconds + self.pack_b_seconds + self.gebp_seconds
 
+    def reset(self) -> None:
+        """Zero every counter in place (object identity is preserved)."""
+        self.pack_a_seconds = 0.0
+        self.pack_b_seconds = 0.0
+        self.gebp_seconds = 0.0
+        self.pack_a_calls = 0
+        self.pack_b_calls = 0
+        self.gebp_calls = 0
+
+    def copy(self) -> "ThreadCounters":
+        return ThreadCounters(
+            pack_a_seconds=self.pack_a_seconds,
+            pack_b_seconds=self.pack_b_seconds,
+            gebp_seconds=self.gebp_seconds,
+            pack_a_calls=self.pack_a_calls,
+            pack_b_calls=self.pack_b_calls,
+            gebp_calls=self.gebp_calls,
+        )
+
 
 @dataclass
 class PoolStats:
@@ -58,33 +77,61 @@ class PoolStats:
     ``counters`` — surplus workers (``threads > ceil(m/mc)``) are never
     dispatched and therefore never show up, which is how benchmarks tell
     active cores from idle ones.
+
+    Lifecycle contract: :meth:`reset` zeroes every
+    :class:`ThreadCounters` *in place* and keeps it registered, so a
+    reference obtained earlier from :meth:`thread` stays live and
+    observes the post-reset counts instead of going stale. Entry
+    creation, :meth:`reset` and the :meth:`snapshot` reads are
+    lock-serialized, so :meth:`summary_rows` is stable under concurrent
+    resets from other threads.
     """
 
     counters: Dict[int, ThreadCounters] = field(default_factory=dict)
     steps: int = 0
     calls: int = 0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: excluded from __eq__/asdict on purpose.
+        self._lock = threading.Lock()
+
     def thread(self, t: int) -> ThreadCounters:
         counters = self.counters.get(t)
         if counters is None:
-            counters = self.counters[t] = ThreadCounters()
+            with self._lock:
+                counters = self.counters.get(t)
+                if counters is None:
+                    counters = self.counters[t] = ThreadCounters()
         return counters
 
     @property
     def active_threads(self) -> List[int]:
         """Logical threads that performed any work, in id order."""
         return sorted(
-            t for t, c in self.counters.items()
+            t for t, c in self.snapshot().items()
             if c.pack_a_calls or c.pack_b_calls or c.gebp_calls
         )
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.steps = 0
-        self.calls = 0
+        """Zero all counters; existing :class:`ThreadCounters` references
+        remain valid (see the class docstring for the contract)."""
+        with self._lock:
+            for counters in self.counters.values():
+                counters.reset()
+            self.steps = 0
+            self.calls = 0
+
+    def snapshot(self) -> Dict[int, ThreadCounters]:
+        """A consistent point-in-time copy of the per-thread counters."""
+        with self._lock:
+            return {t: c.copy() for t, c in self.counters.items()}
 
     def summary_rows(self) -> List[List[object]]:
-        """Rows for :func:`repro.analysis.report.format_table`."""
+        """Rows for :func:`repro.analysis.report.format_table`.
+
+        Built from a :meth:`snapshot`, so the rows are internally
+        consistent even when another thread resets concurrently.
+        """
         return [
             [
                 t,
@@ -95,7 +142,7 @@ class PoolStats:
                 c.pack_b_seconds * 1e3,
                 c.gebp_seconds * 1e3,
             ]
-            for t, c in sorted(self.counters.items())
+            for t, c in sorted(self.snapshot().items())
         ]
 
 

@@ -518,7 +518,13 @@ class Cache:
         )
 
     def flush(self) -> None:
-        """Drop all contents (stats are retained)."""
+        """Drop all contents (stats are retained).
+
+        A flushed cache behaves exactly like a content-fresh one in
+        either LRU representation: the array mode's recency clock is
+        rewound alongside the timestamps, so the OrderedDict and
+        timestamp-array states stay interchangeable across flushes.
+        """
         if self._is_lru:
             if self._array_mode:
                 self._tags_arr.fill(-1)
@@ -526,6 +532,7 @@ class Cache:
                     -self._ways, 0, dtype=np.int64
                 )
                 self._dirty_arr.fill(False)
+                self._clock = 1
                 return
             for s in self._lru_sets:
                 s.clear()
@@ -536,4 +543,45 @@ class Cache:
                     dirty[i] = False
 
     def reset_stats(self) -> None:
+        """Zero every statistic, including the batched-engine coverage
+        counters (``batched_accesses`` / ``batched_fallback_accesses``),
+        which earlier survived resets and leaked across measurement
+        windows."""
         self.stats = CacheStats()
+        self.batched_accesses = 0
+        self.batched_fallback_accesses = 0
+
+    def reset(self, rng: Optional[random.Random] = None) -> None:
+        """Return the cache to its just-constructed state.
+
+        Beyond :meth:`flush` + :meth:`reset_stats`, this also rebuilds
+        the replacement-policy state (RANDOM victim RNG consumption,
+        PLRU tree bits) and drops the lazy timestamp-array migration, so
+        a reset cache replays any trace with counters identical to a
+        freshly constructed one — the round-trip property
+        ``tests/test_stats_lifecycle.py`` pins down.
+
+        Args:
+            rng: Replacement for the RANDOM policy's RNG; pass a
+                generator seeded like the original to reproduce the
+                construction-time victim stream.
+        """
+        self.reset_stats()
+        self._clock = 1
+        if self._is_lru:
+            self._array_mode = False
+            self._tags_arr = self._ts_arr = self._dirty_arr = None
+            self._lru_sets = [
+                OrderedDict() for _ in range(self._num_sets)
+            ]
+        else:
+            self._tags = [
+                [None] * self._ways for _ in range(self._num_sets)
+            ]
+            self._dirty = [
+                [False] * self._ways for _ in range(self._num_sets)
+            ]
+            self._policies = [
+                make_set_policy(self.params.replacement, self._ways, rng)
+                for _ in range(self._num_sets)
+            ]

@@ -14,6 +14,7 @@ the timing benefit of prefetching is that later demand accesses hit.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -75,24 +76,18 @@ class MemoryHierarchy:
     ) -> None:
         self.chip = chip
         self.seed = seed
-
-        def cache_rng(index: int) -> Optional[random.Random]:
-            if seed is None:
-                return None
-            return random.Random(1_000_003 * seed + index)
-
         # Private L1 per core.
         self.l1: List[Cache] = [
-            Cache(chip.l1d, rng=cache_rng(i)) for i in range(chip.cores)
+            Cache(chip.l1d, rng=self._cache_rng(i)) for i in range(chip.cores)
         ]
         # One L2 per module.
         self.l2: List[Cache] = [
-            Cache(chip.l2, rng=cache_rng(chip.cores + j))
+            Cache(chip.l2, rng=self._cache_rng(chip.cores + j))
             for j in range(chip.modules)
         ]
         # One L3 for the chip (optional).
         self.l3: Optional[Cache] = (
-            Cache(chip.l3, rng=cache_rng(chip.cores + chip.modules))
+            Cache(chip.l3, rng=self._cache_rng(chip.cores + chip.modules))
             if chip.l3
             else None
         )
@@ -102,6 +97,21 @@ class MemoryHierarchy:
             Tlb(chip.tlb) if (with_tlb and chip.tlb) else None
             for _ in range(chip.cores)
         ]
+        # Hardware prefetchers attached to this hierarchy register here so
+        # reset_stats/flush/reset cover their counters and stream state.
+        # Weak references: the hierarchy must not keep a dead prefetcher
+        # (or its install closure over this hierarchy) alive.
+        self._prefetchers: "weakref.WeakSet" = weakref.WeakSet()
+        # Observability hook: when set to a MetricsRegistry, the batched
+        # replay paths record access/DRAM counters and span timings into
+        # it. None (the default) keeps the hot paths entirely branch-cheap.
+        self.metrics = None
+
+    def _cache_rng(self, index: int) -> Optional[random.Random]:
+        """The per-cache victim RNG for position ``index`` (see ``seed``)."""
+        if self.seed is None:
+            return None
+        return random.Random(1_000_003 * self.seed + index)
 
     # -- topology helpers ---------------------------------------------------
 
@@ -273,6 +283,12 @@ class MemoryHierarchy:
             cost.level_hits[min(len(levels), max_level - 1)] += to_dram
             latency += to_dram * self.chip.dram.latency_cycles
         cost.latency_cycles = latency
+        m = self.metrics
+        if m is not None:
+            m.inc("hierarchy.batched_replays")
+            m.inc("hierarchy.demand_line_accesses", cost.accesses)
+            m.inc("hierarchy.dram_line_accesses", to_dram)
+            m.inc("hierarchy.latency_cycles", latency)
         return cost
 
     def run_batch_levels(
@@ -354,9 +370,46 @@ class MemoryHierarchy:
         )
         out_levels = served_at[demand]
         out_lat = latency_of[out_levels] + tlb_penalty[demand]
+        m = self.metrics
+        if m is not None:
+            m.inc("hierarchy.batched_replays")
+            m.inc("hierarchy.demand_line_accesses", int(out_levels.size))
+            m.inc("hierarchy.dram_line_accesses", int(dram_idx.size))
+            m.inc("hierarchy.latency_cycles", int(out_lat.sum()))
         return out_levels, out_lat
 
+    # -- prefetchers --------------------------------------------------------
+
+    def register_prefetcher(self, prefetcher) -> None:
+        """Tie a hardware prefetcher's lifecycle to this hierarchy.
+
+        Registered prefetchers have their counters cleared by
+        :meth:`reset_stats`, their stream state cleared by :meth:`flush`,
+        and both by :meth:`reset`. Held weakly.
+        """
+        self._prefetchers.add(prefetcher)
+
+    def prefetcher_stats(self) -> Dict[str, int]:
+        """Merged observation/issue counters of registered prefetchers."""
+        merged = {"observed_lines": 0, "issued": 0, "late": 0}
+        for pf in self._prefetchers:
+            merged["observed_lines"] += pf.stats.observed_lines
+            merged["issued"] += pf.stats.issued
+            merged["late"] += pf.stats.late
+        return merged
+
     # -- statistics ---------------------------------------------------------
+
+    def all_caches(self) -> Dict[str, Cache]:
+        """Every cache in the hierarchy, keyed ``l1[i]``/``l2[j]``/``l3``."""
+        caches: Dict[str, Cache] = {}
+        for i, cache in enumerate(self.l1):
+            caches[f"l1[{i}]"] = cache
+        for j, cache in enumerate(self.l2):
+            caches[f"l2[{j}]"] = cache
+        if self.l3 is not None:
+            caches["l3"] = self.l3
+        return caches
 
     def l1_stats(self, core: Optional[int] = None) -> CacheStats:
         """Stats for one core's L1, or all L1s merged."""
@@ -382,25 +435,47 @@ class MemoryHierarchy:
         return self.l3.stats
 
     def flush(self) -> None:
-        """Empty every cache (stats retained)."""
-        for cache in self.l1:
+        """Empty every cache and TLB (stats retained).
+
+        Registered hardware prefetchers forget their tracked streams too:
+        a stream position remembered across a flush would suppress the
+        re-prefetching a cold cache needs, so flushed state and stream
+        state travel together.
+        """
+        for cache in self.all_caches().values():
             cache.flush()
-        for cache in self.l2:
-            cache.flush()
-        if self.l3 is not None:
-            self.l3.flush()
         for tlb in self.tlbs:
             if tlb is not None:
                 tlb.flush()
+        for pf in self._prefetchers:
+            pf.reset_streams()
 
     def reset_stats(self) -> None:
-        for cache in self.l1:
+        """Zero every counter: caches, DRAM, TLBs, and the observation/
+        issue counters of registered hardware prefetchers."""
+        for cache in self.all_caches().values():
             cache.reset_stats()
-        for cache in self.l2:
-            cache.reset_stats()
-        if self.l3 is not None:
-            self.l3.reset_stats()
         self.dram_accesses = 0
         for tlb in self.tlbs:
             if tlb is not None:
                 tlb.reset_stats()
+        for pf in self._prefetchers:
+            pf.reset_stats()
+
+    def reset(self) -> None:
+        """Restore the pristine just-constructed state.
+
+        Unlike ``flush()`` + ``reset_stats()``, this also rebuilds each
+        cache's replacement-policy state *and* its victim RNG from the
+        hierarchy seed, so RANDOM/PLRU hierarchies replay the exact same
+        victim stream as a freshly constructed ``MemoryHierarchy``.
+        """
+        for index, cache in enumerate(self.all_caches().values()):
+            cache.reset(rng=self._cache_rng(index))
+        self.dram_accesses = 0
+        for tlb in self.tlbs:
+            if tlb is not None:
+                tlb.flush()
+                tlb.reset_stats()
+        for pf in self._prefetchers:
+            pf.reset()

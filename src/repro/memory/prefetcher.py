@@ -41,6 +41,10 @@ class DropPattern:
             return True
         return False
 
+    def reset(self) -> None:
+        """Rewind to the start of the pattern (fresh-object equivalence)."""
+        self._acc = 0.0
+
 
 @dataclass
 class PrefetcherStats:
@@ -93,6 +97,11 @@ class SequentialPrefetcher:
                 core, line, level
             )
         self._install = install
+        if hierarchy is not None:
+            # The hierarchy's reset_stats/flush/reset cover registered
+            # prefetchers, so hardware-prefetch counters share the cache
+            # counters' lifecycle instead of silently surviving resets.
+            hierarchy.register_prefetcher(self)
 
     def observe(self, line: int, stream: str) -> None:
         """Notify the prefetcher of a demand access to ``line`` on a
@@ -107,3 +116,21 @@ class SequentialPrefetcher:
         for d in range(1, self.degree + 1):
             self._install(line + d, 1)
             self.stats.issued += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the observation/issue counters."""
+        self.stats = PrefetcherStats()
+
+    def reset_streams(self) -> None:
+        """Forget tracked stream positions and rewind the late pattern,
+        so the next observations behave like a fresh prefetcher (the
+        counterpart of flushing the caches it installs into)."""
+        self._last_line.clear()
+        self._late.reset()
+
+    def reset(self) -> None:
+        """Full fresh-object reset: counters and stream state."""
+        self.reset_stats()
+        self.reset_streams()

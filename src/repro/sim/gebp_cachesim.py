@@ -54,6 +54,7 @@ from repro.memory.cache import CODE_LOAD, CODE_PREFETCH, CODE_STORE
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import DropPattern, SequentialPrefetcher
 from repro.memory.trace import run_trace
+from repro.obs.metrics import MetricsRegistry
 
 QWORD = 16
 
@@ -231,6 +232,7 @@ def simulate_gebp_cache(
     prefa_bytes: int = 1024,
     engine: str = "auto",
     seed: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> GebpCacheResult:
     """Replay one GEBP's access stream through the cache hierarchy.
 
@@ -253,6 +255,8 @@ def simulate_gebp_cache(
             bit-identical counters.
         seed: RANDOM-replacement seed for a freshly created hierarchy
             (ignored when ``hierarchy`` is passed in).
+        metrics: Optional registry receiving replay counters and span
+            timings; ``None`` (the default) costs nothing.
     """
     if engine not in ENGINES:
         raise SimulationError(
@@ -271,17 +275,34 @@ def simulate_gebp_cache(
         prefa_bytes=prefa_bytes,
     )
 
+    selected = "scalar" if engine == "scalar" else "batched"
+    if metrics is not None:
+        metrics.inc("cachesim.replays")
+        metrics.inc(f"cachesim.engine.{selected}")
+        metrics.observe("cachesim.trace_records", len(main))
+        span = metrics.span("cachesim.replay")
+    else:
+        span = None
+
     # Warm the L2/L3 the way GEBP's preconditions state: the packed A
     # block resides in L2, the packed B panel in L3. Packing itself wrote
     # them, which is what installs them.
     if engine == "scalar":
         run_trace(h, core, warm)
         h.reset_stats()
-        run_trace(h, core, main)
+        if span is not None:
+            with span:
+                run_trace(h, core, main)
+        else:
+            run_trace(h, core, main)
     else:
         h.run_batch(core, warm)
         h.reset_stats()
-        h.run_batch(core, main)
+        if span is not None:
+            with span:
+                h.run_batch(core, main)
+        else:
+            h.run_batch(core, main)
 
     l1 = h.l1_stats(core)
     l2 = h.l2_stats(h.module_of(core))

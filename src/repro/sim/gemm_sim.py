@@ -42,6 +42,7 @@ from repro.errors import SimulationError
 from repro.gemm.trace import GemmTrace
 from repro.kernels.kernel_spec import KernelSpec
 from repro.kernels.variants import VARIANTS
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache_fit import Residency, analyze_residency, stream_costs
 from repro.sim.gebp_cachesim import GebpCacheResult, simulate_gebp_cache
 from repro.sim.params import DEFAULT_SIM_PARAMS, SimParams
@@ -85,13 +86,22 @@ class GemmSimulator:
     Args:
         chip: Architecture description.
         params: Calibration constants (see :mod:`repro.sim.params`).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when set, :meth:`simulate`, :meth:`cache_sim` and
+            :meth:`timed_kernel` record counters and span timings into it
+            (and forward it to the engines they wrap). ``None`` adds no
+            work.
     """
 
     def __init__(
-        self, chip: ChipParams = XGENE, params: SimParams = DEFAULT_SIM_PARAMS
+        self,
+        chip: ChipParams = XGENE,
+        params: SimParams = DEFAULT_SIM_PARAMS,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.chip = chip
         self.params = params
+        self.metrics = metrics
 
     # -- kernel resolution -----------------------------------------------------
 
@@ -142,6 +152,7 @@ class GemmSimulator:
         """
         spec = self._resolve(kernel)
         blk = blocking or self.default_blocking(kernel, threads)
+        kwargs.setdefault("metrics", self.metrics)
         return simulate_gebp_cache(
             spec, blk, chip=self.chip, engine=engine, **kwargs
         )
@@ -189,7 +200,8 @@ class GemmSimulator:
         a = rng.standard_normal((kc, spec.mr))
         b = rng.standard_normal((kc, spec.nr))
         return run_timed_micro_tile(
-            generated, a, b, chip=self.chip, engine=engine, hw_late=hw_late
+            generated, a, b, chip=self.chip, engine=engine, hw_late=hw_late,
+            metrics=self.metrics,
         )
 
     # -- per-iteration kernel cost ----------------------------------------------
@@ -245,6 +257,34 @@ class GemmSimulator:
         blk = blocking or self.default_blocking(kernel, threads)
         if trace is None:
             trace = synthesize_trace(m, n, k, blk, threads, axis=parallel_axis)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("gemm_sim.simulations")
+            metrics.observe("gemm_sim.gebp_events", len(trace.gebps))
+            with metrics.span("gemm_sim.simulate"):
+                return self._simulate_priced(
+                    kernel, m, n, k, threads, blk, trace, spec, prefetch,
+                    parallel_axis,
+                )
+        return self._simulate_priced(
+            kernel, m, n, k, threads, blk, trace, spec, prefetch,
+            parallel_axis,
+        )
+
+    def _simulate_priced(
+        self,
+        kernel: str,
+        m: int,
+        n: int,
+        k: int,
+        threads: int,
+        blk: CacheBlocking,
+        trace: GemmTrace,
+        spec: KernelSpec,
+        prefetch: bool,
+        parallel_axis: str,
+    ) -> GemmPerformance:
+        """Price a resolved (blocking, trace) pair — see :meth:`simulate`."""
 
         hide = self.params.hide_fraction(
             self._window_limited(spec), prefetching=prefetch

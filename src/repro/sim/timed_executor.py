@@ -36,7 +36,11 @@ from repro.kernels.codegen import (
     C_POINTER,
     GeneratedKernel,
 )
-from repro.kernels.compiled import CompiledKernel, compile_kernel
+from repro.kernels.compiled import (
+    CompiledKernel,
+    compilability,
+    compile_kernel,
+)
 from repro.kernels.execute import (
     A_BASE,
     B_BASE,
@@ -46,6 +50,7 @@ from repro.kernels.execute import (
 from repro.memory.batch import warm_region
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import SequentialPrefetcher
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
 
 #: Execution engines for the timed entry points. ``auto`` compiles when
@@ -55,22 +60,40 @@ from repro.pipeline.scoreboard import PipelineResult, ScoreboardCore
 TIMED_ENGINES = ("auto", "compiled", "interpreted")
 
 
-def _resolve_engine(
+def engine_selection(
     kernel: GeneratedKernel, engine: str
-) -> Optional[CompiledKernel]:
-    """The compiled kernel to use, or ``None`` for the interpreted path."""
+) -> Tuple[str, Optional[str]]:
+    """What ``engine`` resolves to for ``kernel``, without compiling.
+
+    Returns ``(selected, fallback_reason)``: the engine that will actually
+    run (``"compiled"`` or ``"interpreted"``) and, when ``engine="auto"``
+    fell back to the interpreter, the :func:`compilability` reason —
+    ``None`` otherwise. ``engine="compiled"`` on a non-compilable kernel
+    raises, exactly like the run entry points.
+    """
     if engine not in TIMED_ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; choose from {TIMED_ENGINES}"
         )
     if engine == "interpreted":
-        return None
-    try:
-        return compile_kernel(kernel)
-    except SimulationError:
-        if engine == "compiled":
-            raise
-        return None
+        return "interpreted", None
+    reason = compilability(kernel)
+    if reason is None:
+        return "compiled", None
+    if engine == "compiled":
+        raise SimulationError(f"kernel does not compile: {reason}")
+    return "interpreted", reason
+
+
+def _resolve_engine(
+    kernel: GeneratedKernel, engine: str
+) -> Tuple[Optional[CompiledKernel], str, Optional[str]]:
+    """The compiled kernel to use (``None`` for the interpreted path),
+    plus the selection and fallback reason from :func:`engine_selection`."""
+    selected, reason = engine_selection(kernel, engine)
+    if selected == "compiled":
+        return compile_kernel(kernel), selected, None
+    return None, selected, reason
 
 
 @dataclass
@@ -86,6 +109,12 @@ class TimedRun:
         pipeline: Full scoreboard result.
         load_latencies: Latency histogram of the kernel's demand loads
             (cycles -> count).
+        engine: The engine that actually ran (``"compiled"`` or
+            ``"interpreted"`` — never ``"auto"``).
+        fallback_reason: When ``engine="auto"`` was requested but the
+            kernel is not compilable, the :func:`~repro.kernels.compiled.
+            compilability` reason the interpreter was chosen for;
+            ``None`` otherwise.
     """
 
     c_tile: "np.ndarray"
@@ -94,6 +123,8 @@ class TimedRun:
     efficiency: float
     pipeline: PipelineResult
     load_latencies: Dict[int, int]
+    engine: str = "interpreted"
+    fallback_reason: Optional[str] = None
 
 
 def run_timed_micro_tile(
@@ -108,6 +139,7 @@ def run_timed_micro_tile(
     warm_l2: bool = True,
     timing_bases: Optional[Dict[int, int]] = None,
     engine: str = "auto",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TimedRun:
     """Execute and time one micro-tile (GESS) on the simulated machine.
 
@@ -131,6 +163,8 @@ def run_timed_micro_tile(
             replays precompiled value/address/issue templates and is
             bit-identical to the interpreter on the C tile, the pipeline
             counters and the load-latency histogram.
+        metrics: Optional registry to record engine selection, cycle and
+            load counters into. ``None`` (the default) costs nothing.
     """
     spec = kernel.spec
     mr, nr = spec.mr, spec.nr
@@ -138,7 +172,12 @@ def run_timed_micro_tile(
     unroll = kernel.plan.unroll
     if kc % unroll:
         raise SimulationError(f"kc={kc} must be a multiple of {unroll}")
-    compiled = _resolve_engine(kernel, engine)
+    compiled, selected, fallback_reason = _resolve_engine(kernel, engine)
+    if metrics is not None:
+        metrics.inc("timed.micro_tiles")
+        metrics.inc(f"timed.engine.{selected}")
+        if fallback_reason is not None:
+            metrics.inc("timed.auto_fallbacks")
 
     # ---- timing state -----------------------------------------------------
     h = hierarchy or MemoryHierarchy(chip)
@@ -150,10 +189,14 @@ def run_timed_micro_tile(
         h.reset_stats()
 
     if compiled is not None:
-        return _run_compiled_micro_tile(
+        run = _run_compiled_micro_tile(
             compiled, a_sliver, b_sliver, c_tile, chip, h, core_id,
             hw_late, timing_bases,
         )
+        if metrics is not None:
+            metrics.inc("timed.cycles", run.cycles)
+            metrics.inc("timed.demand_loads", sum(run.load_latencies.values()))
+        return run
 
     # ---- functional state (same layout as kernels.execute) ---------------
     memory = Memory()
@@ -249,6 +292,9 @@ def run_timed_micro_tile(
 
     flops = kc * spec.flops_per_iter
     peak = chip.core.flops_per_cycle
+    if metrics is not None:
+        metrics.inc("timed.cycles", result.cycles)
+        metrics.inc("timed.demand_loads", sum(histogram.values()))
     return TimedRun(
         c_tile=memory.region_at(C_BASE).reshape(nr, mr).T.copy(),
         cycles=result.cycles,
@@ -256,6 +302,8 @@ def run_timed_micro_tile(
         efficiency=(flops / result.cycles) / peak,
         pipeline=result,
         load_latencies=histogram,
+        engine="interpreted",
+        fallback_reason=fallback_reason,
     )
 
 
@@ -314,6 +362,8 @@ def _run_compiled_micro_tile(
         efficiency=(flops / result.cycles) / peak,
         pipeline=result,
         load_latencies=histogram,
+        engine="compiled",
+        fallback_reason=None,
     )
 
 
@@ -328,6 +378,10 @@ class GebpTimedRun:
         efficiency: Fraction of the core's FMA peak (padding counted as
             overhead, so ragged panels show their real cost).
         tile_cycles: Per-(i, j) micro-tile cycle counts.
+        engine: The engine every micro-tile ran on (``"compiled"`` or
+            ``"interpreted"`` — never ``"auto"``).
+        fallback_reason: Why ``engine="auto"`` fell back to the
+            interpreter, or ``None``.
     """
 
     c_panel: "np.ndarray"
@@ -335,6 +389,8 @@ class GebpTimedRun:
     cycles_per_iteration: float
     efficiency: float
     tile_cycles: List[int]
+    engine: str = "interpreted"
+    fallback_reason: Optional[str] = None
 
 
 def run_timed_gebp_dual(
@@ -347,6 +403,7 @@ def run_timed_gebp_dual(
     hw_late: float = 0.25,
     hierarchy: Optional[MemoryHierarchy] = None,
     engine: str = "auto",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[GebpTimedRun, GebpTimedRun]:
     """Two cores of one module run their GEBPs interleaved tile-by-tile.
 
@@ -376,6 +433,7 @@ def run_timed_gebp_dual(
     """
     spec = kernel.spec
     mr, nr = spec.mr, spec.nr
+    selected, fallback_reason = engine_selection(kernel, engine)
     if packed_a0.shape != packed_a1.shape:
         raise SimulationError("both cores need equally-shaped A blocks")
     na, kc, _ = packed_a0.shape
@@ -426,6 +484,7 @@ def run_timed_gebp_dual(
                     warm_l2=False,
                     timing_bases=bases,
                     engine=engine,
+                    metrics=metrics,
                 )
                 panels[cid][
                     i * mr : (i + 1) * mr, j * nr : (j + 1) * nr
@@ -444,6 +503,8 @@ def run_timed_gebp_dual(
                 cycles_per_iteration=total / iters,
                 efficiency=(flops / total) / chip.core.flops_per_cycle,
                 tile_cycles=cycles[cid],
+                engine=selected,
+                fallback_reason=fallback_reason,
             )
         )
     return out[0], out[1]
@@ -458,6 +519,7 @@ def run_timed_gebp(
     core_id: int = 0,
     hw_late: float = 0.25,
     engine: str = "auto",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> GebpTimedRun:
     """Execute and time a whole GEBP (layers 5-7) on one simulated core.
 
@@ -486,6 +548,7 @@ def run_timed_gebp(
     nb, kc_b, nr_in = packed_b.shape
     if (mr_in, nr_in) != (mr, nr) or kc != kc_b:
         raise SimulationError("packed buffers do not match the kernel")
+    selected, fallback_reason = engine_selection(kernel, engine)
     mc, nc = na * mr, nb * nr
     if c_panel is None:
         c_panel = np.zeros((mc, nc))
@@ -529,6 +592,7 @@ def run_timed_gebp(
                 warm_l2=False,
                 timing_bases=bases,
                 engine=engine,
+                metrics=metrics,
             )
             c_panel[i * mr : (i + 1) * mr, j * nr : (j + 1) * nr] = run.c_tile
             tile_cycles.append(run.cycles)
@@ -542,4 +606,6 @@ def run_timed_gebp(
         cycles_per_iteration=total / iters,
         efficiency=(flops / total) / chip.core.flops_per_cycle,
         tile_cycles=tile_cycles,
+        engine=selected,
+        fallback_reason=fallback_reason,
     )

@@ -309,10 +309,40 @@ class TestPoolStats:
 
     def test_reset(self):
         stats = PoolStats()
-        stats.thread(0).gebp_calls = 3
+        held = stats.thread(0)
+        held.gebp_calls = 3
         stats.steps = 5
         stats.reset()
-        assert not stats.counters and stats.steps == 0
+        assert stats.steps == 0 and stats.calls == 0
+        # Contract: counters are zeroed in place, so references held by
+        # callers stay live instead of going stale.
+        assert stats.thread(0) is held
+        assert held.gebp_calls == 0
+        assert stats.active_threads == []
+
+    def test_summary_rows_stable_under_concurrent_reset(self):
+        import threading
+
+        stats = PoolStats()
+        for t in range(4):
+            stats.thread(t).gebp_calls = t + 1
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                stats.reset()
+                for t in range(4):
+                    stats.thread(t).gebp_calls = 1
+
+        w = threading.Thread(target=hammer)
+        w.start()
+        try:
+            for _ in range(200):
+                rows = stats.summary_rows()
+                assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+        finally:
+            stop.set()
+            w.join()
 
     def test_summary_rows_sorted_by_thread(self):
         stats = PoolStats()

@@ -1,0 +1,260 @@
+"""Stats-lifecycle property tests.
+
+The observability layer snapshots engine stat objects, which only works
+if those objects have a trustworthy lifecycle: ``reset_stats`` must zero
+*every* counter (including registered hardware prefetchers),
+``flush``/``reset`` must return a component to a state where replaying
+the same access stream reproduces the same counters as a fresh object,
+and engine-selection metadata (``engine``, ``fallback_reason``) must be
+recorded rather than silently swallowed.
+
+The core property, checked per policy and per engine:
+
+    run(work); obj.reset(); run(work)  ==  run(work) on a fresh object
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.arch import XGENE, ReplacementPolicy
+from repro.blocking import solve_cache_blocking
+from repro.kernels import get_variant
+from repro.kernels.kernel_spec import PAPER_KERNELS
+from repro.memory import MemoryHierarchy
+from repro.memory.cache import Cache
+from repro.memory.prefetcher import SequentialPrefetcher
+from repro.sim import simulate_gebp_cache
+from repro.sim.timed_executor import engine_selection, run_timed_micro_tile
+
+SPEC_8X6 = next(s for s in PAPER_KERNELS if s.name == "8x6")
+
+
+def _small_cache(policy, seed=7):
+    params = dataclasses.replace(
+        XGENE.l1d, name=f"tiny-{policy.value}", size_bytes=4096,
+        line_bytes=64, ways=4, replacement=policy,
+    )
+    return Cache(params, rng=random.Random(seed)), params
+
+
+def _mixed_workload(cache, params):
+    """A deterministic load/store stream with reuse, conflict misses and
+    evictions; returns the hit pattern so state (not just counters) is
+    compared."""
+    rng = random.Random(123)
+    lines = [rng.randrange(0, 4 * params.num_lines) for _ in range(400)]
+    hits = []
+    for i, line in enumerate(lines):
+        kind = "store" if i % 7 == 3 else "load"
+        hits.append(cache.access_line(line, kind))
+    return hits
+
+
+class TestCacheLifecycle:
+    @pytest.mark.parametrize("policy", list(ReplacementPolicy))
+    def test_reset_equals_fresh(self, policy):
+        cache, params = _small_cache(policy)
+        _mixed_workload(cache, params)
+        cache.reset(rng=random.Random(7))
+
+        fresh, _ = _small_cache(policy)
+        assert _mixed_workload(cache, params) == _mixed_workload(
+            fresh, params
+        )
+        assert cache.stats == fresh.stats
+        assert cache.resident_lines() == fresh.resident_lines()
+
+    @pytest.mark.parametrize(
+        "policy", [ReplacementPolicy.LRU, ReplacementPolicy.PLRU]
+    )
+    def test_flush_plus_reset_stats_equals_fresh(self, policy):
+        """For RNG-free policies, flush + reset_stats is a full reset."""
+        cache, params = _small_cache(policy)
+        _mixed_workload(cache, params)
+        cache.flush()
+        cache.reset_stats()
+
+        fresh, _ = _small_cache(policy)
+        assert _mixed_workload(cache, params) == _mixed_workload(
+            fresh, params
+        )
+        assert cache.stats == fresh.stats
+
+    def test_reset_stats_zeroes_batched_coverage_counters(self):
+        cache, params = _small_cache(ReplacementPolicy.LRU)
+        _mixed_workload(cache, params)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.batched_accesses == 0
+        assert cache.batched_fallback_accesses == 0
+
+
+def _hierarchy_counters(h):
+    from repro.obs import snapshot_hierarchy
+
+    return snapshot_hierarchy(h)
+
+
+def _run_gebp(h, engine):
+    blk = solve_cache_blocking(XGENE, SPEC_8X6.mr, SPEC_8X6.nr, threads=1)
+    return simulate_gebp_cache(
+        SPEC_8X6, blk, chip=XGENE, hierarchy=h, nc_slice=6, engine=engine,
+    )
+
+
+class TestHierarchyLifecycle:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_reset_equals_fresh(self, engine):
+        h = MemoryHierarchy(XGENE, seed=0)
+        _run_gebp(h, engine)
+        h.reset()
+        again = _run_gebp(h, engine)
+
+        fresh = MemoryHierarchy(XGENE, seed=0)
+        first = _run_gebp(fresh, engine)
+        assert dataclasses.astuple(again) == dataclasses.astuple(first)
+        assert _hierarchy_counters(h) == _hierarchy_counters(fresh)
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_flush_plus_reset_stats_equals_fresh(self, engine):
+        """XGENE is all-LRU, so the two-step lifecycle is equivalent to a
+        full reset — including the array-mode clock rewind."""
+        h = MemoryHierarchy(XGENE, seed=0)
+        _run_gebp(h, engine)
+        h.flush()
+        h.reset_stats()
+        again = _run_gebp(h, engine)
+
+        fresh = MemoryHierarchy(XGENE, seed=0)
+        first = _run_gebp(fresh, engine)
+        assert dataclasses.astuple(again) == dataclasses.astuple(first)
+        assert _hierarchy_counters(h) == _hierarchy_counters(fresh)
+
+    def test_reset_covers_random_policy_rng(self):
+        """reset() re-seeds per-cache victim RNGs, so a RANDOM-replacement
+        hierarchy replays identically after reset."""
+        chip = dataclasses.replace(
+            XGENE,
+            l1d=dataclasses.replace(
+                XGENE.l1d, replacement=ReplacementPolicy.RANDOM
+            ),
+        )
+        h = MemoryHierarchy(chip, seed=11)
+        first = _run_gebp(h, "scalar")
+        h.reset()
+        again = _run_gebp(h, "scalar")
+        assert dataclasses.astuple(again) == dataclasses.astuple(first)
+
+    def test_all_caches_enumerates_every_level(self):
+        h = MemoryHierarchy(XGENE, seed=0)
+        keys = list(h.all_caches())
+        assert keys == (
+            [f"l1[{i}]" for i in range(XGENE.cores)]
+            + [f"l2[{j}]" for j in range(XGENE.modules)]
+            + ["l3"]
+        )
+
+
+class TestPrefetcherLifecycle:
+    def _observe_some(self, pf):
+        for line in (10, 11, 12, 40, 41):
+            pf.observe(line, "a")
+
+    def test_hierarchy_reset_stats_covers_prefetcher(self):
+        """The original bug: hardware-prefetch counters survived
+        ``reset_stats`` because the hierarchy did not know about the
+        prefetchers installed in front of it."""
+        h = MemoryHierarchy(XGENE, seed=0)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.0)
+        self._observe_some(pf)
+        assert pf.stats.observed_lines > 0
+        h.reset_stats()
+        assert pf.stats.observed_lines == 0
+        assert pf.stats.issued == 0
+        assert pf.stats.late == 0
+
+    def test_hierarchy_flush_resets_streams(self):
+        h = MemoryHierarchy(XGENE, seed=0)
+        pf = SequentialPrefetcher(h, core=0, late_rate=0.5)
+        self._observe_some(pf)
+        h.flush()
+        h.reset_stats()
+        self._observe_some(pf)
+
+        fresh_h = MemoryHierarchy(XGENE, seed=0)
+        fresh = SequentialPrefetcher(fresh_h, core=0, late_rate=0.5)
+        self._observe_some(fresh)
+        assert pf.stats == fresh.stats
+
+    def test_prefetcher_stats_merge(self):
+        h = MemoryHierarchy(XGENE, seed=0)
+        a = SequentialPrefetcher(h, core=0, late_rate=0.0)
+        b = SequentialPrefetcher(h, core=1, late_rate=0.0)
+        self._observe_some(a)
+        self._observe_some(b)
+        merged = h.prefetcher_stats()
+        assert merged["observed_lines"] == (
+            a.stats.observed_lines + b.stats.observed_lines
+        )
+        assert merged["issued"] == a.stats.issued + b.stats.issued
+
+    def test_install_sink_prefetcher_is_not_registered(self):
+        """A trace-recording prefetcher (install sink, no hierarchy) owns
+        its own lifecycle."""
+        seen = []
+        pf = SequentialPrefetcher(
+            None, core=0, late_rate=0.0,
+            install=lambda line, level: seen.append(line),
+        )
+        self._observe_some(pf)
+        assert seen
+        pf.reset()
+        assert pf.stats.observed_lines == 0
+        assert not pf._last_line
+
+
+class TestEngineSelection:
+    def test_auto_records_fallback_reason(self):
+        kernel = get_variant("ATLAS-5x5")
+        selected, reason = engine_selection(kernel, "auto")
+        assert selected == "interpreted"
+        assert "odd tile" in reason
+
+    def test_auto_prefers_compiled(self):
+        kernel = get_variant("OpenBLAS-8x6")
+        assert engine_selection(kernel, "auto") == ("compiled", None)
+
+    def test_explicit_engines(self):
+        kernel = get_variant("OpenBLAS-8x6")
+        assert engine_selection(kernel, "interpreted") == (
+            "interpreted", None,
+        )
+        assert engine_selection(kernel, "compiled") == ("compiled", None)
+
+    def test_compiled_on_noncompilable_raises(self):
+        kernel = get_variant("ATLAS-5x5")
+        with pytest.raises(Exception, match="odd tile"):
+            engine_selection(kernel, "compiled")
+
+    def test_unknown_engine_rejected(self):
+        kernel = get_variant("OpenBLAS-8x6")
+        with pytest.raises(Exception, match="engine"):
+            engine_selection(kernel, "turbo")
+
+    def test_timed_run_records_engine(self):
+        import numpy as np
+
+        kernel = get_variant("OpenBLAS-8x6")
+        spec = kernel.spec
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, spec.mr))
+        b = rng.standard_normal((8, spec.nr))
+        auto = run_timed_micro_tile(kernel, a, b, engine="auto")
+        assert auto.engine == "compiled"
+        assert auto.fallback_reason is None
+        interp = run_timed_micro_tile(kernel, a, b, engine="interpreted")
+        assert interp.engine == "interpreted"
+        assert interp.fallback_reason is None
+        assert interp.cycles == auto.cycles
