@@ -263,19 +263,27 @@ PAPER_TABLE_VII = {
 def table7_miss_rates(
     chip: ChipParams = XGENE,
     engine: str = "auto",
+    seed: Optional[int] = None,
+    nc_slice: Optional[int] = None,
 ) -> List[Tuple[str, int, float, float]]:
     """Table VII: L1 load miss rates from the event-accurate cache sim.
 
     ``engine`` selects the replay path (``"auto"``/``"batched"`` for the
     vectorized sweep, ``"scalar"`` for the per-access oracle); both are
     bit-identical, the batched one is just an order of magnitude faster.
+    ``seed`` pins the victim RNG on RANDOM-replacement chips (it is what
+    makes batched-vs-scalar comparisons meaningful there); ``nc_slice``
+    truncates the replayed panel for fast differential tests.
     """
     rows = []
     for name, (mr, nr) in (("8x6", (8, 6)), ("8x4", (8, 4)), ("4x4", (4, 4))):
         spec = next(s for s in PAPER_KERNELS if s.name == name)
         for threads in (1, 8):
             blk = solve_cache_blocking(chip, mr, nr, threads=threads)
-            result = simulate_gebp_cache(spec, blk, chip=chip, engine=engine)
+            result = simulate_gebp_cache(
+                spec, blk, chip=chip, engine=engine, seed=seed,
+                nc_slice=nc_slice,
+            )
             rows.append(
                 (
                     name,

@@ -10,6 +10,8 @@ Exposes the library's main entry points without writing Python::
     repro timed --kernel OpenBLAS-8x6          # timed run, both engines
     repro pool --threads 4                     # worker-pool engine timing
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
+    repro verify --suite all --seed 0          # differential fuzz sweep
+    repro verify --replay tests/cases/x.json   # re-run a shrunk case
     repro report out.json                      # render a structured report
     repro report --diff baseline.json out.json # regression comparison
 
@@ -279,7 +281,7 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
     timings = {}
     hierarchies = {}
     for engine in ("scalar", "batched"):
-        h = MemoryHierarchy(XGENE, seed=0)
+        h = MemoryHierarchy(XGENE, seed=args.seed)
         hierarchies[engine] = h
         t0 = time.perf_counter()
         results[engine] = simulate_gebp_cache(
@@ -308,7 +310,7 @@ def _cmd_cachesim(args: argparse.Namespace) -> int:
     _emit_report(
         args, "cachesim",
         params={"kernel": args.kernel, "threads": args.threads,
-                "nc_slice": args.nc_slice},
+                "nc_slice": args.nc_slice, "seed": args.seed},
         engines={
             e: {"requested": e, "selected": e, "fallback_reason": None}
             for e in results
@@ -353,7 +355,8 @@ def _cmd_timed(args: argparse.Namespace) -> int:
     for engine in engine_list:
         t0 = time.perf_counter()
         runs[engine] = sim.timed_kernel(
-            args.kernel, kc=args.kc, engine=engine, hw_late=args.hw_late
+            args.kernel, kc=args.kc, engine=engine, hw_late=args.hw_late,
+            seed=args.seed,
         )
         timings[engine] = time.perf_counter() - t0
     identical = True
@@ -395,7 +398,7 @@ def _cmd_timed(args: argparse.Namespace) -> int:
     _emit_report(
         args, "timed",
         params={"kernel": args.kernel, "kc": kc, "hw_late": args.hw_late,
-                "engine": args.engine},
+                "engine": args.engine, "seed": args.seed},
         engines={
             e: {"requested": args.engine, "selected": run.engine,
                 "fallback_reason": run.fallback_reason}
@@ -535,6 +538,92 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         }},
     )
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Differential verification: fuzz sweep, self-test, case replay.
+
+    The default mode runs a seeded sweep of every selected oracle plus
+    the mutation self-test, prints a per-oracle summary, and exits
+    nonzero if any case mismatches or the self-test fails to catch its
+    injected fault. ``--replay FILE`` instead re-runs one committed case
+    file; ``--list`` just prints the registry.
+    """
+    from repro.verify import (
+        BUDGETS,
+        all_oracles,
+        replay_case,
+        run_suite,
+        suites,
+    )
+
+    if args.list:
+        print(format_table(
+            ["oracle", "suite", "checks"],
+            [[o.name, o.suite, o.description] for o in all_oracles()],
+            title=f"registered oracles (suites: {', '.join(suites())})",
+        ))
+        return 0
+
+    if args.replay is not None:
+        outcome = replay_case(args.replay)
+        status = "PASS" if outcome.ok else "FAIL"
+        print(f"{args.replay}: oracle {outcome.oracle} -> {status}")
+        for mismatch in outcome.mismatches[:10]:
+            print(f"  {mismatch}")
+        _emit_report(
+            args, "verify",
+            params={"replay": str(args.replay), "oracle": outcome.oracle},
+            stats={"verify": {
+                "replay": str(args.replay),
+                "oracle": outcome.oracle,
+                "passed": outcome.ok,
+                "mismatches": outcome.mismatches[:10],
+            }},
+        )
+        return 0 if outcome.ok else 1
+
+    doc = run_suite(
+        seed=args.seed,
+        budget=args.budget,
+        suite=args.suite,
+        selftest=not args.no_selftest,
+        shrink_dir=args.cases_dir,
+    )
+    cases = BUDGETS[args.budget]
+    rows = []
+    for name, entry in doc["oracles"].items():
+        rows.append([
+            name,
+            entry["cases"],
+            len(entry["failures"]),
+            "pass" if entry["passed"] else "FAIL",
+        ])
+    print(format_table(
+        ["oracle", "cases", "failures", "status"],
+        rows,
+        title=f"verify sweep: suite={args.suite} seed={args.seed} "
+              f"budget={args.budget} ({cases} cases/oracle)",
+    ))
+    for name, entry in doc["oracles"].items():
+        for failure in entry["failures"]:
+            print(f"{name} case {failure['case_index']} mismatches:")
+            for mismatch in failure["mismatches"][:5]:
+                print(f"  {mismatch}")
+            if "case_file" in failure:
+                print(f"  shrunk repro written to {failure['case_file']}")
+    if "selftest" in doc:
+        caught = doc["selftest"]["passed"]
+        print(f"mutation self-test: "
+              f"{'fault caught by every oracle' if caught else 'FAILED'}")
+    print(f"verify: {'PASS' if doc['passed'] else 'FAIL'}")
+    _emit_report(
+        args, "verify",
+        params={"suite": args.suite, "seed": args.seed,
+                "budget": args.budget},
+        stats={"verify": doc},
+    )
+    return 0 if doc["passed"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -704,6 +793,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(VARIANTS))
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--nc-slice", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0,
+                   help="RANDOM-replacement victim RNG seed")
     add_json(p)
     p.set_defaults(func=_cmd_cachesim)
 
@@ -720,6 +811,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["both", "auto", "compiled", "interpreted"],
                    help="run both engines and cross-check (default), or "
                         "a single one; 'auto' reports its fallback reason")
+    p.add_argument("--seed", type=int, default=0,
+                   help="operand RNG seed")
     add_json(p)
     p.set_defaults(func=_cmd_timed)
 
@@ -733,6 +826,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step", type=int, default=512)
     add_json(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential fuzz sweep of every fast/reference engine "
+             "pair, with mutation self-test and case replay",
+    )
+    p.add_argument("--suite", default="all",
+                   help="oracle suite to run ('all', or one of the "
+                        "registered suites; see --list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="top-level seed deterministically deriving every "
+                        "per-oracle case stream")
+    p.add_argument("--budget", default="default",
+                   choices=["smoke", "default", "deep"],
+                   help="cases per oracle")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="re-run one committed case file instead of "
+                        "sweeping")
+    p.add_argument("--cases-dir", default="tests/cases",
+                   help="where shrunk repro files for new failures are "
+                        "written")
+    p.add_argument("--no-selftest", action="store_true",
+                   help="skip the comparator mutation self-test")
+    p.add_argument("--list", action="store_true",
+                   help="print the oracle registry and exit")
+    add_json(p)
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "report",

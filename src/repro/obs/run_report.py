@@ -331,8 +331,15 @@ def snapshot_pipeline(result: Any) -> Dict[str, Any]:
 
 def snapshot_timed_run(run: Any) -> Dict[str, Any]:
     """Serialize a :class:`~repro.sim.timed_executor.TimedRun` (the C tile
-    itself is omitted; cycles/stalls/latencies identify it exactly)."""
+    values are folded into a content hash; cycles/stalls/latencies plus
+    the hash identify the run exactly)."""
+    import hashlib
+
+    import numpy as np
+
+    c = np.ascontiguousarray(run.c_tile, dtype=np.float64)
     return {
+        "c_sha256": hashlib.sha256(c.tobytes()).hexdigest(),
         "cycles": run.cycles,
         "cycles_per_iteration": run.cycles_per_iteration,
         "efficiency": run.efficiency,

@@ -1,0 +1,189 @@
+"""Seeded differential fuzz sweeps and the mutation self-test.
+
+One top-level ``seed`` determines every case in a sweep: each oracle gets
+its own :class:`random.Random` seeded with the string ``"{seed}:{name}"``
+(string seeding hashes through SHA-512, so it is stable across processes
+and Python versions, unlike ``hash()``). Adding an oracle therefore never
+perturbs the cases other oracles see — sweeps stay reproducible across
+registry growth.
+
+The sweep result is a plain versioned document designed to be embedded as
+a ``RunReport`` stats section by the CLI.
+
+The **mutation self-test** guards the guard: for every oracle it re-runs
+one case under a comparator shim that bumps the first integer leaf of the
+fast document by one, and demands a reported mismatch. A harness that
+cannot see an injected off-by-one would pass every real sweep vacuously;
+this test makes that failure mode loud.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.verify.oracle import (
+    Oracle,
+    VerifyError,
+    diff_documents,
+    oracles_for_suite,
+    run_case,
+)
+from repro.verify.shrink import save_case, shrink_case
+
+__all__ = [
+    "BUDGETS",
+    "VERIFY_SCHEMA_VERSION",
+    "fuzz_params",
+    "mutation_self_test",
+    "run_suite",
+]
+
+VERIFY_SCHEMA_VERSION = 1
+
+#: Cases generated per oracle for each named budget.
+BUDGETS = {"smoke": 3, "default": 8, "deep": 25}
+
+
+def oracle_rng(seed: int, oracle_name: str) -> random.Random:
+    """The per-oracle RNG: independent streams from one top-level seed."""
+    return random.Random(f"{seed}:{oracle_name}")
+
+
+def fuzz_params(
+    oracle: Oracle, seed: int, budget: str
+) -> List[Dict[str, Any]]:
+    """The deterministic case list one sweep runs for ``oracle``."""
+    if budget not in BUDGETS:
+        raise VerifyError(
+            f"unknown budget {budget!r}; choose from {sorted(BUDGETS)}"
+        )
+    rng = oracle_rng(seed, oracle.name)
+    return [oracle.generate(rng, budget) for _ in range(BUDGETS[budget])]
+
+
+def _mutate_first_int(doc: Any) -> bool:
+    """Bump the first integer leaf found by a deterministic DFS.
+
+    Mutates ``doc`` in place; returns whether a leaf was found. Bools are
+    skipped (they are ints in Python, but flipping one models a different
+    fault class) and so are floats — the injected fault is specifically
+    an off-by-one in a counter.
+    """
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            value = doc[key]
+            if isinstance(value, int) and not isinstance(value, bool):
+                doc[key] = value + 1
+                return True
+            if _mutate_first_int(value):
+                return True
+        return False
+    if isinstance(doc, list):
+        for i, value in enumerate(doc):
+            if isinstance(value, int) and not isinstance(value, bool):
+                doc[i] = value + 1
+                return True
+            if _mutate_first_int(value):
+                return True
+        return False
+    return False
+
+
+def _faulting_compare(
+    reference: Dict[str, Any], fast: Dict[str, Any]
+) -> List[str]:
+    """Comparator shim with an injected off-by-one on the fast side."""
+    import copy
+
+    mutated = copy.deepcopy(fast)
+    if not _mutate_first_int(mutated):
+        raise VerifyError(
+            "mutation self-test found no integer leaf to corrupt"
+        )
+    return diff_documents(reference, mutated)
+
+
+def mutation_self_test(
+    oracles: List[Oracle], seed: int
+) -> Dict[str, Any]:
+    """Prove the harness detects an injected comparator fault.
+
+    For each oracle: run one fuzzed case under :func:`_faulting_compare`
+    and require at least one reported mismatch. Returns a summary doc;
+    ``passed`` is True only if every oracle's fault was caught.
+    """
+    results: Dict[str, Any] = {}
+    all_caught = True
+    for oracle in oracles:
+        rng = oracle_rng(seed, f"selftest:{oracle.name}")
+        params = oracle.generate(rng, "smoke")
+        outcome = run_case(oracle, params, compare=_faulting_compare)
+        caught = not outcome.ok
+        all_caught = all_caught and caught
+        results[oracle.name] = {
+            "fault_caught": caught,
+            "mismatches": outcome.mismatches[:3],
+        }
+    return {"passed": all_caught, "oracles": results}
+
+
+def run_suite(
+    seed: int,
+    budget: str = "default",
+    suite: str = "all",
+    selftest: bool = True,
+    shrink_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run a full differential sweep; returns the versioned result doc.
+
+    When a case fails, it is greedily shrunk and — if ``shrink_dir`` is
+    set — written there as a committed-ready repro file. The returned
+    document's ``passed`` covers both the sweep and (when enabled) the
+    mutation self-test.
+    """
+    oracles = oracles_for_suite(suite)
+    doc: Dict[str, Any] = {
+        "verify_schema_version": VERIFY_SCHEMA_VERSION,
+        "seed": seed,
+        "budget": budget,
+        "suite": suite,
+        "oracles": {},
+    }
+    sweep_ok = True
+    for oracle in oracles:
+        cases = fuzz_params(oracle, seed, budget)
+        failures: List[Dict[str, Any]] = []
+        for index, params in enumerate(cases):
+            outcome = run_case(oracle, params)
+            if outcome.ok:
+                continue
+            sweep_ok = False
+            entry: Dict[str, Any] = {
+                "case_index": index,
+                "mismatches": outcome.mismatches[:10],
+            }
+            shrunk = shrink_case(oracle, params)
+            entry["shrunk_params"] = shrunk.params
+            entry["shrunk_mismatches"] = shrunk.mismatches[:10]
+            entry["shrink_evaluations"] = shrunk.evaluations
+            if shrink_dir is not None:
+                path = save_case(
+                    shrink_dir, oracle.name, shrunk.params,
+                    note=f"shrunk from sweep seed={seed} case={index}",
+                )
+                entry["case_file"] = str(path)
+            failures.append(entry)
+        doc["oracles"][oracle.name] = {
+            "suite": oracle.suite,
+            "description": oracle.description,
+            "cases": len(cases),
+            "failures": failures,
+            "passed": not failures,
+        }
+    if selftest:
+        doc["selftest"] = mutation_self_test(oracles, seed)
+        doc["passed"] = sweep_ok and doc["selftest"]["passed"]
+    else:
+        doc["passed"] = sweep_ok
+    return doc

@@ -1,0 +1,195 @@
+"""Seeded generation of random-but-valid machines for differential fuzzing.
+
+A *machine document* is a small JSON-able dict describing a
+:class:`~repro.arch.params.ChipParams` perturbation — cache geometry,
+replacement and write policies, topology, TLB presence. The fuzzer draws
+documents from a seeded :class:`random.Random`; :func:`build_chip` turns a
+document back into a validated ``ChipParams``. Keeping the document (not
+the object) in the fuzz case makes every case JSON-serializable, so a
+failing machine can be committed verbatim as a replay file.
+
+Geometry is always generated valid by construction: sizes are computed as
+``sets * ways * line`` (the :class:`~repro.arch.params.CacheParams`
+divisibility invariant) and sharing factors follow the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.arch.params import (
+    CacheParams,
+    ChipParams,
+    CoreParams,
+    DramParams,
+    ReplacementPolicy,
+    TlbParams,
+    WritePolicy,
+)
+
+__all__ = ["build_chip", "random_machine", "simplified_machines",
+           "with_replacement"]
+
+_POLICIES = ("lru", "random", "plru")
+
+
+def random_machine(rng: random.Random, budget: str = "default") -> Dict[str, Any]:
+    """Draw one machine document from ``rng``.
+
+    ``budget`` bounds the topology: ``"smoke"`` keeps chips small so a
+    whole fuzz sweep stays interactive; larger budgets allow more cores
+    and bigger caches.
+    """
+    small = budget == "smoke"
+    per_module = rng.choice((1, 2))
+    modules = rng.choice((1, 2) if small else (1, 2, 4))
+    line = rng.choice((32, 64))
+
+    def level(name: str, sets_choices, ways_choices, latency, shared_by):
+        return {
+            "name": name,
+            "sets": rng.choice(sets_choices),
+            "ways": rng.choice(ways_choices),
+            "line": line,
+            "latency": latency,
+            "replacement": rng.choice(_POLICIES),
+            # Write-through is rare: it routes the batched engine onto its
+            # scalar fallback, which we still want covered, just not often.
+            "write_policy": (
+                "write-through" if rng.random() < 0.1 else "write-back"
+            ),
+            "shared_by": shared_by,
+        }
+
+    cores = per_module * modules
+    doc: Dict[str, Any] = {
+        "cores": cores,
+        "cores_per_module": per_module,
+        "line": line,
+        "l1": level("L1D", (2, 4, 8), (2, 4), 4, 1),
+        "l2": level("L2", (8, 16), (4, 8), 12, per_module),
+        "l3": (
+            level("L3", (16, 32), (8, 16), 40, cores)
+            if rng.random() < 0.7
+            else None
+        ),
+        "with_tlb": rng.random() < 0.4,
+        "dram_latency": rng.choice((120, 180)),
+    }
+    return doc
+
+
+def _cache_params(doc: Dict[str, Any]) -> CacheParams:
+    return CacheParams(
+        name=doc["name"],
+        size_bytes=doc["sets"] * doc["ways"] * doc["line"],
+        line_bytes=doc["line"],
+        ways=doc["ways"],
+        latency_cycles=doc["latency"],
+        replacement=ReplacementPolicy(doc.get("replacement", "lru")),
+        write_policy=WritePolicy(doc.get("write_policy", "write-back")),
+        shared_by=doc.get("shared_by", 1),
+    )
+
+
+def build_chip(doc: Dict[str, Any]) -> ChipParams:
+    """Materialize a machine document into a validated ``ChipParams``."""
+    return ChipParams(
+        name="fuzz-machine",
+        cores=doc["cores"],
+        cores_per_module=doc["cores_per_module"],
+        core=CoreParams(),
+        l1d=_cache_params(doc["l1"]),
+        l2=_cache_params(doc["l2"]),
+        l3=_cache_params(doc["l3"]) if doc.get("l3") else None,
+        dram=DramParams(latency_cycles=doc.get("dram_latency", 180)),
+        tlb=TlbParams() if doc.get("with_tlb") else None,
+    )
+
+
+def simplified_machines(doc: Dict[str, Any]):
+    """Yield strictly simpler variants of a machine document (shrinking).
+
+    Each candidate removes one source of complexity: the L3, the TLB,
+    extra modules, write-through levels, non-LRU replacement, set count.
+    """
+    if doc.get("l3") is not None:
+        out = dict(doc)
+        out["l3"] = None
+        yield out
+    if doc.get("with_tlb"):
+        out = dict(doc)
+        out["with_tlb"] = False
+        yield out
+    if doc["cores"] > doc["cores_per_module"]:
+        out = dict(doc)
+        out["cores"] = doc["cores_per_module"]
+        yield out
+    if doc["cores_per_module"] > 1:
+        out = dict(doc)
+        out["cores_per_module"] = 1
+        out["cores"] = doc["cores"] // doc["cores_per_module"]
+        for lvl in ("l2",):
+            out[lvl] = dict(out[lvl], shared_by=1)
+        if out.get("l3"):
+            out["l3"] = dict(out["l3"], shared_by=out["cores"])
+        yield out
+    for lvl in ("l1", "l2", "l3"):
+        level = doc.get(lvl)
+        if not level:
+            continue
+        if level.get("write_policy") == "write-through":
+            out = dict(doc)
+            out[lvl] = dict(level, write_policy="write-back")
+            yield out
+        if level.get("replacement", "lru") != "lru":
+            out = dict(doc)
+            out[lvl] = dict(level, replacement="lru")
+            yield out
+        if level["sets"] > 1:
+            out = dict(doc)
+            out[lvl] = dict(level, sets=level["sets"] // 2)
+            yield out
+        if level["ways"] > 1:
+            out = dict(doc)
+            out[lvl] = dict(level, ways=level["ways"] // 2)
+            yield out
+
+
+def _replace_cache(cache: CacheParams, policy: ReplacementPolicy) -> CacheParams:
+    return CacheParams(
+        name=cache.name,
+        size_bytes=cache.size_bytes,
+        line_bytes=cache.line_bytes,
+        ways=cache.ways,
+        latency_cycles=cache.latency_cycles,
+        replacement=policy,
+        write_policy=cache.write_policy,
+        shared_by=cache.shared_by,
+    )
+
+
+def with_replacement(
+    chip: ChipParams, policy: ReplacementPolicy,
+    l3: Optional[ReplacementPolicy] = None,
+) -> ChipParams:
+    """A copy of ``chip`` with every cache level using ``policy``.
+
+    ``l3`` overrides the policy for the L3 alone (e.g. keep the big
+    outer level LRU while stressing RANDOM victim selection inside).
+    """
+    return ChipParams(
+        name=f"{chip.name}-{policy.value}",
+        cores=chip.cores,
+        cores_per_module=chip.cores_per_module,
+        core=chip.core,
+        l1d=_replace_cache(chip.l1d, policy),
+        l2=_replace_cache(chip.l2, policy),
+        l3=(
+            None if chip.l3 is None
+            else _replace_cache(chip.l3, l3 if l3 is not None else policy)
+        ),
+        dram=chip.dram,
+        tlb=chip.tlb,
+    )

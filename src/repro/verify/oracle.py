@@ -1,0 +1,266 @@
+"""Oracle registry and the differential comparator.
+
+An :class:`Oracle` declares one fast/reference engine pair *once*: how to
+draw a random valid case from a seeded RNG, how to run the case through
+the reference engine and through the fast engine, and how to shrink a
+failing case. Both runners return a plain JSON-able *result document*;
+the comparator requires the two documents to be exactly equal, leaf by
+leaf — bit-exact for tile values and hit/miss counters, tolerance-free
+integer comparison for cycle counts. There is deliberately no epsilon
+anywhere: the repo's engine pairs promise bit-identity, and the oracle
+harness is what holds them to it.
+
+Oracles register themselves into a module-level registry at import time
+(:mod:`repro.verify.oracles` defines the standing four); new engine PRs
+add one :func:`register` call and inherit the fuzzer, the shrinker, the
+CLI and the CI sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CaseOutcome",
+    "Oracle",
+    "VerifyError",
+    "all_oracles",
+    "diff_documents",
+    "get_oracle",
+    "numeric_size",
+    "oracles_for_suite",
+    "register",
+    "run_case",
+    "suites",
+]
+
+
+class VerifyError(ReproError):
+    """Raised for malformed oracles, cases, or replay files."""
+
+
+#: params -> result document (JSON-able nested dict of scalars/lists).
+Runner = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One registered fast/reference engine pair.
+
+    Attributes:
+        name: Unique dotted identifier, e.g. ``"cachesim.batch"``.
+        suite: Coarse grouping used by ``repro verify --suite``.
+        description: One-line statement of the identity being checked.
+        generate: Draw one random valid params dict from ``(rng, budget)``.
+            Params must be JSON-serializable and fully determine the case
+            (operand data comes from seeds inside params, never from
+            global state).
+        reference: Run the case on the reference engine.
+        fast: Run the case on the fast engine.
+        shrink: Yield strictly-smaller candidate params for a failing
+            case (the greedy shrinker keeps candidates that still fail).
+        compare: ``(reference_doc, fast_doc) -> mismatch list``; the
+            default exact comparator suits every bit-identity oracle.
+            The mutation self-test swaps in a fault-injecting shim here.
+    """
+
+    name: str
+    suite: str
+    description: str
+    generate: Callable[[random.Random, str], Dict[str, Any]]
+    reference: Runner
+    fast: Runner
+    shrink: Callable[[Dict[str, Any]], Iterator[Dict[str, Any]]]
+    compare: Callable[[Dict[str, Any], Dict[str, Any]], List[str]] = field(
+        default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if self.compare is None:
+            object.__setattr__(self, "compare", diff_documents)
+        if "." not in self.name:
+            raise VerifyError(
+                f"oracle name {self.name!r} must be dotted (suite.pair)"
+            )
+
+
+@dataclass
+class CaseOutcome:
+    """Result of running one case through both engines of an oracle."""
+
+    oracle: str
+    params: Dict[str, Any]
+    mismatches: List[str]
+    reference: Dict[str, Any]
+    fast: Dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Oracle] = {}
+
+
+def register(oracle: Oracle) -> Oracle:
+    """Add ``oracle`` to the registry (name must be unused)."""
+    if oracle.name in _REGISTRY:
+        raise VerifyError(f"oracle {oracle.name!r} already registered")
+    _REGISTRY[oracle.name] = oracle
+    return oracle
+
+
+def all_oracles() -> List[Oracle]:
+    """Every registered oracle, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def get_oracle(name: str) -> Oracle:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise VerifyError(
+            f"unknown oracle {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def suites() -> List[str]:
+    """The distinct suite names, in registration order."""
+    _ensure_loaded()
+    seen: List[str] = []
+    for oracle in _REGISTRY.values():
+        if oracle.suite not in seen:
+            seen.append(oracle.suite)
+    return seen
+
+
+def oracles_for_suite(suite: str) -> List[Oracle]:
+    """Oracles selected by ``--suite`` (``"all"`` selects everything)."""
+    _ensure_loaded()
+    if suite == "all":
+        return list(_REGISTRY.values())
+    selected = [o for o in _REGISTRY.values() if o.suite == suite]
+    if not selected:
+        raise VerifyError(
+            f"unknown suite {suite!r}; choose from "
+            f"{['all'] + suites()}"
+        )
+    return selected
+
+
+def _ensure_loaded() -> None:
+    """Import the standing oracle definitions exactly once."""
+    if not _REGISTRY:
+        from repro.verify import oracles  # noqa: F401  (registers on import)
+
+
+# -- comparator ---------------------------------------------------------------
+
+
+def diff_documents(
+    reference: Any, fast: Any, path: str = "", limit: int = 20
+) -> List[str]:
+    """Exact leaf-by-leaf differences between two result documents.
+
+    Returns human-readable ``path: reference != fast`` strings (empty =
+    identical). Numbers compare with ``==`` and type-compatible ints and
+    floats are *not* interchanged: a counter drifting from int to float
+    is itself a reportable engine divergence. NaN never equals anything,
+    so a NaN leaf on either side always reports.
+    """
+    out: List[str] = []
+    _diff(reference, fast, path, out, limit)
+    return out
+
+
+def _diff(a: Any, b: Any, path: str, out: List[str], limit: int) -> None:
+    if len(out) >= limit:
+        return
+    label = path or "<root>"
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append(f"{sub}: missing in reference")
+            elif key not in b:
+                out.append(f"{sub}: missing in fast")
+            else:
+                _diff(a[key], b[key], sub, out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            out.append(f"{label}: length {len(a)} != {len(b)}")
+            return
+        for i, (va, vb) in enumerate(zip(a, b)):
+            _diff(va, vb, f"{path}[{i}]", out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if type(a) is not type(b):
+        # int vs float, bool vs int, str vs int, dict vs list ... a
+        # counter changing representation is itself engine divergence.
+        out.append(f"{label}: type {type(a).__name__} != {type(b).__name__}")
+        return
+    if a != b or a != a or b != b:  # the self-inequality catches NaN
+        out.append(f"{label}: {a!r} != {b!r}")
+
+
+def numeric_size(params: Any) -> int:
+    """A crude monotone size metric over a params document.
+
+    The greedy shrinker only accepts candidates that strictly reduce
+    this, which guarantees termination without each oracle having to
+    define its own ordering. Booleans count as 0/1, strings by length,
+    containers by recursion plus their own length.
+    """
+    if isinstance(params, bool):
+        return int(params)
+    if isinstance(params, int):
+        return abs(params)
+    if isinstance(params, float):
+        return int(abs(params) * 16)
+    if isinstance(params, str):
+        return len(params)
+    if isinstance(params, dict):
+        return len(params) + sum(numeric_size(v) for v in params.values())
+    if isinstance(params, (list, tuple)):
+        return len(params) + sum(numeric_size(v) for v in params)
+    return 0
+
+
+def run_case(
+    oracle: Oracle,
+    params: Dict[str, Any],
+    compare: Optional[Callable[[Dict[str, Any], Dict[str, Any]], List[str]]]
+    = None,
+) -> CaseOutcome:
+    """Run one case through both engines and compare the documents."""
+    reference = oracle.reference(params)
+    fast = oracle.fast(params)
+    comparator = compare if compare is not None else oracle.compare
+    return CaseOutcome(
+        oracle=oracle.name,
+        params=params,
+        mismatches=comparator(reference, fast),
+        reference=reference,
+        fast=fast,
+    )

@@ -1,0 +1,509 @@
+"""The standing oracles: one per fast/reference engine pair in the repo.
+
+Each oracle is declared once and covers one bit-identity claim:
+
+- ``gemm.pool`` — OS-thread worker-pool ``parallel_dgemm`` vs the inline
+  sequential executor (PR 1's engine);
+- ``cachesim.batch`` — vectorized :meth:`MemoryHierarchy.run_batch` vs the
+  per-access scalar :func:`run_trace` walk (PR 2's engine);
+- ``timed.compiled`` — compiled timed-execution templates vs the
+  instruction-by-instruction interpreter (PR 3's engine);
+- ``lru.array`` — the timestamp-array LRU representation behind
+  :meth:`Cache.access_lines_batched` vs the ``OrderedDict`` list mode.
+
+Result documents contain only JSON-able leaves. Float64 payloads (C
+tiles/panels) are compared bit-exactly: values are carried as exact
+``float`` lists plus a SHA-256 of the raw little-endian bytes, so a
+single flipped mantissa bit anywhere fails the comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+from repro.arch.presets import MOBILE_SOC, XGENE
+from repro.blocking.cache_blocking import CacheBlocking
+from repro.memory.batch import BatchTrace
+from repro.memory.cache import (
+    CODE_LOAD,
+    CODE_PREFETCH,
+    CODE_STORE,
+    Cache,
+    CacheStats,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.trace import run_trace
+from repro.obs.run_report import snapshot_cache_stats, snapshot_pipeline
+from repro.verify.machines import (
+    build_chip,
+    random_machine,
+    simplified_machines,
+)
+from repro.verify.oracle import Oracle, register
+
+__all__ = ["CHIPS"]
+
+#: Named chips a case may reference (kept tiny and JSON-friendly).
+CHIPS = {"xgene": XGENE, "mobile": MOBILE_SOC}
+
+
+def _sha256(array: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(array, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+def _array_doc(array: np.ndarray, values_limit: int = 256) -> Dict[str, Any]:
+    """Bit-exact document for a float64 array.
+
+    Small arrays carry their exact values (readable in a repro file);
+    every array carries shape and a content hash, so equality of the
+    document is equality of the bits.
+    """
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    doc: Dict[str, Any] = {
+        "shape": list(arr.shape),
+        "sha256": _sha256(arr),
+    }
+    if arr.size <= values_limit:
+        doc["values"] = [float(x) for x in arr.ravel()]
+    return doc
+
+
+# =============================================================================
+# gemm.pool — pooled OS-thread parallel_dgemm vs the inline serial executor
+# =============================================================================
+
+_TILES = ((8, 6), (8, 4), (4, 4), (2, 2), (5, 3))
+_SCALARS = (0.0, 1.0, -1.0, 0.5, 2.0)
+
+
+def _gemm_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    hi = 24 if budget == "smoke" else 48
+    mr, nr = rng.choice(_TILES)
+    return {
+        "m": rng.randint(1, hi),
+        "n": rng.randint(1, hi),
+        "k": rng.randint(1, hi),
+        "threads": rng.randint(2, 4),
+        "alpha": rng.choice(_SCALARS),
+        "beta": rng.choice(_SCALARS),
+        "axis": rng.choice(("m", "n")),
+        "blocking": {
+            "mr": mr,
+            "nr": nr,
+            "kc": rng.choice((4, 8, 16)),
+            "mc": rng.choice((8, 16, 24)),
+            "nc": rng.choice((12, 16, 32)),
+        },
+        "data_seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _gemm_run(params: Dict[str, Any], use_os_threads: bool) -> Dict[str, Any]:
+    from repro.gemm.parallel import parallel_dgemm
+    from repro.gemm.pool import PoolStats, WorkerPool
+    from repro.gemm.trace import GemmTrace
+    from repro.gemm.workspace import GemmWorkspace
+
+    g = np.random.default_rng(params["data_seed"])
+    m, n, k = params["m"], params["n"], params["k"]
+    a = np.asfortranarray(g.standard_normal((m, k)))
+    b = np.asfortranarray(g.standard_normal((k, n)))
+    c = np.asfortranarray(g.standard_normal((m, n)))
+    blk = params["blocking"]
+    blocking = CacheBlocking(
+        mr=blk["mr"], nr=blk["nr"], kc=blk["kc"], mc=blk["mc"],
+        nc=blk["nc"], k1=1, k2=1, k3=1,
+    )
+    trace = GemmTrace()
+    stats = PoolStats()
+    threads = params["threads"]
+
+    def call(pool):
+        return parallel_dgemm(
+            a, b, c.copy(order="F"), threads=threads,
+            alpha=params["alpha"], beta=params["beta"],
+            blocking=blocking, trace=trace, axis=params["axis"],
+            use_os_threads=use_os_threads, pool=pool,
+            workspace=GemmWorkspace(), stats=stats,
+        )
+
+    if use_os_threads:
+        with WorkerPool(threads) as pool:
+            out = call(pool)
+    else:
+        out = call(None)
+
+    counters = stats.snapshot()
+    return {
+        "c": _array_doc(out),
+        "trace": {
+            "packs": [
+                [e.operand, e.rows, e.cols, e.thread] for e in trace.packs
+            ],
+            "gebps": [
+                [e.mc, e.kc, e.nc, e.thread, e.beta_pass]
+                for e in trace.gebps
+            ],
+            "active_threads": trace.active_threads,
+            "flops": trace.flops,
+        },
+        # Wall-clock seconds are *excluded* on purpose: only call counts
+        # are part of the engines' identity contract.
+        "pool": {
+            "steps": stats.steps,
+            "calls": stats.calls,
+            "threads": {
+                str(t): [c_.pack_a_calls, c_.pack_b_calls, c_.gebp_calls]
+                for t, c_ in sorted(counters.items())
+            },
+        },
+    }
+
+
+def _gemm_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    for dim in ("m", "n", "k"):
+        if params[dim] > 1:
+            yield {**params, dim: max(1, params[dim] // 2)}
+            yield {**params, dim: params[dim] - 1}
+    if params["threads"] > 2:
+        yield {**params, "threads": 2}
+    for scalar in ("alpha", "beta"):
+        if params[scalar] != 1.0:
+            yield {**params, scalar: 1.0}
+    blk = params["blocking"]
+    for key in ("kc", "mc", "nc"):
+        if blk[key] > blk.get("mr", 1) and blk[key] > 4:
+            yield {**params, "blocking": {**blk, key: blk[key] // 2}}
+
+
+register(Oracle(
+    name="gemm.pool",
+    suite="gemm",
+    description=(
+        "worker-pool OS-thread parallel_dgemm is bit-identical to the "
+        "inline sequential executor (C values, trace events, counters)"
+    ),
+    generate=_gemm_generate,
+    reference=lambda p: _gemm_run(p, use_os_threads=False),
+    fast=lambda p: _gemm_run(p, use_os_threads=True),
+    shrink=_gemm_shrink,
+))
+
+
+# =============================================================================
+# cachesim.batch — vectorized hierarchy replay vs the scalar per-access walk
+# =============================================================================
+
+
+def _trace_rows(params: Dict[str, Any], n_levels: int) -> List[tuple]:
+    """The case's access stream, regenerated deterministically."""
+    rng = random.Random(params["trace_seed"])
+    span = params["span_lines"]
+    line = params["machine"]["line"]
+    rows = []
+    for _ in range(params["length"]):
+        addr = rng.randrange(span) * line + rng.choice((0, 0, 8, 24))
+        nbytes = rng.choice((8, 16, 64, 2 * line))
+        roll = rng.random()
+        if roll < 0.6:
+            rows.append((addr, nbytes, CODE_LOAD, 1))
+        elif roll < 0.85:
+            rows.append((addr, nbytes, CODE_STORE, 1))
+        else:
+            rows.append(
+                (addr, line, CODE_PREFETCH, rng.randint(1, n_levels))
+            )
+    return rows
+
+
+def _cachesim_doc(
+    h: MemoryHierarchy, cost
+) -> Dict[str, Any]:
+    return {
+        "cost": {
+            "accesses": cost.accesses,
+            "latency_cycles": cost.latency_cycles,
+            "level_hits": list(cost.level_hits),
+        },
+        "caches": {
+            key: snapshot_cache_stats(cache.stats)
+            for key, cache in h.all_caches().items()
+        },
+        "dram_accesses": h.dram_accesses,
+        "tlb": [
+            None if t is None else {"accesses": t.stats.accesses,
+                                    "misses": t.stats.misses}
+            for t in h.tlbs
+        ],
+    }
+
+
+def _cachesim_run(params: Dict[str, Any], engine: str) -> Dict[str, Any]:
+    chip = build_chip(params["machine"])
+    h = MemoryHierarchy(
+        chip, with_tlb=params["machine"].get("with_tlb", False),
+        seed=params["hier_seed"],
+    )
+    core = params["core"] % chip.cores
+    trace = BatchTrace.from_rows(
+        _trace_rows(params, len(chip.cache_levels))
+    )
+    if engine == "scalar":
+        cost = run_trace(h, core, trace)
+    else:
+        cost = h.run_batch(core, trace)
+    return _cachesim_doc(h, cost)
+
+
+def _cachesim_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    length = rng.randint(50, 300 if budget == "smoke" else 1500)
+    machine = random_machine(rng, budget)
+    return {
+        "machine": machine,
+        "core": rng.randrange(machine["cores"]),
+        "hier_seed": rng.randint(0, 2**31 - 1),
+        "trace_seed": rng.randint(0, 2**31 - 1),
+        "length": length,
+        "span_lines": rng.choice((16, 64, 256, 1024)),
+    }
+
+
+def _cachesim_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    if params["length"] > 1:
+        yield {**params, "length": params["length"] // 2}
+        yield {**params, "length": params["length"] - 1}
+    if params["span_lines"] > 2:
+        yield {**params, "span_lines": params["span_lines"] // 2}
+    if params["core"] > 0:
+        yield {**params, "core": 0}
+    for machine in simplified_machines(params["machine"]):
+        yield {**params, "machine": machine}
+
+
+register(Oracle(
+    name="cachesim.batch",
+    suite="cachesim",
+    description=(
+        "MemoryHierarchy.run_batch produces counters and TraceCost "
+        "bit-identical to the scalar run_trace walk on any machine"
+    ),
+    generate=_cachesim_generate,
+    reference=lambda p: _cachesim_run(p, "scalar"),
+    fast=lambda p: _cachesim_run(p, "batched"),
+    shrink=_cachesim_shrink,
+))
+
+
+# =============================================================================
+# timed.compiled — template-compiled timed executor vs the interpreter
+# =============================================================================
+
+_COMPILED_VARIANTS = ("OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4")
+_HW_LATE = (0.0, 0.25, 0.5, 1.0)
+
+
+def _timed_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    from repro.kernels.variants import get_variant
+
+    variant = rng.choice(_COMPILED_VARIANTS)
+    unroll = get_variant(variant).plan.unroll
+    bodies = rng.randint(1, 4 if budget == "smoke" else 10)
+    return {
+        "variant": variant,
+        "kc": unroll * bodies,
+        "hw_late": rng.choice(_HW_LATE),
+        "chip": rng.choice(("xgene", "mobile")),
+        "data_seed": rng.randint(0, 2**31 - 1),
+        "with_c_tile": rng.random() < 0.5,
+    }
+
+
+def _timed_run(params: Dict[str, Any], engine: str) -> Dict[str, Any]:
+    from repro.kernels.variants import VARIANTS, get_variant
+    from repro.sim.timed_executor import run_timed_micro_tile
+
+    spec = VARIANTS[params["variant"]]
+    kernel = get_variant(params["variant"])
+    chip = CHIPS[params["chip"]]
+    g = np.random.default_rng(params["data_seed"])
+    a = g.standard_normal((params["kc"], spec.mr))
+    b = g.standard_normal((params["kc"], spec.nr))
+    c0 = (
+        g.standard_normal((spec.mr, spec.nr))
+        if params.get("with_c_tile")
+        else None
+    )
+    run = run_timed_micro_tile(
+        kernel, a, b, c0, chip=chip, hw_late=params["hw_late"],
+        engine=engine,
+    )
+    return {
+        "c_tile": _array_doc(run.c_tile),
+        "cycles": run.cycles,
+        "cycles_per_iteration": run.cycles_per_iteration,
+        "efficiency": run.efficiency,
+        "pipeline": snapshot_pipeline(run.pipeline),
+        "load_latencies": {
+            str(lat): cnt
+            for lat, cnt in sorted(run.load_latencies.items())
+        },
+    }
+
+
+def _timed_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    from repro.kernels.variants import get_variant
+
+    unroll = get_variant(params["variant"]).plan.unroll
+    bodies = params["kc"] // unroll
+    # Drop kernel segments: fewer unrolled bodies, down to one.
+    if bodies > 1:
+        yield {**params, "kc": unroll * max(1, bodies // 2)}
+        yield {**params, "kc": unroll * (bodies - 1)}
+    if params["hw_late"] != 0.0:
+        yield {**params, "hw_late": 0.0}
+    if params.get("with_c_tile"):
+        yield {**params, "with_c_tile": False}
+    if params["variant"] != "OpenBLAS-4x4":
+        small = get_variant("OpenBLAS-4x4").plan.unroll
+        yield {
+            **params,
+            "variant": "OpenBLAS-4x4",
+            "kc": small * max(1, min(bodies, 2)),
+        }
+
+
+register(Oracle(
+    name="timed.compiled",
+    suite="timed",
+    description=(
+        "compiled timed-execution templates match the interpreter on "
+        "C tile bits, cycles, stall breakdown and latency histogram"
+    ),
+    generate=_timed_generate,
+    reference=lambda p: _timed_run(p, "interpreted"),
+    fast=lambda p: _timed_run(p, "compiled"),
+    shrink=_timed_shrink,
+))
+
+
+# =============================================================================
+# lru.array — timestamp-array LRU representation vs the OrderedDict mode
+# =============================================================================
+
+
+def _lru_accesses(params: Dict[str, Any]) -> List[tuple]:
+    rng = random.Random(params["access_seed"])
+    kinds = (CODE_LOAD, CODE_LOAD, CODE_STORE, CODE_PREFETCH)
+    return [
+        (rng.randrange(params["span_lines"]), rng.choice(kinds))
+        for _ in range(params["length"])
+    ]
+
+
+def _lru_cache(params: Dict[str, Any]) -> Cache:
+    from repro.arch.params import CacheParams, WritePolicy
+
+    line = 64
+    return Cache(CacheParams(
+        name="fuzzL",
+        size_bytes=params["ways"] * params["sets"] * line,
+        line_bytes=line,
+        ways=params["ways"],
+        latency_cycles=1,
+        write_policy=(
+            WritePolicy.WRITE_BACK if params["write_back"]
+            else WritePolicy.WRITE_THROUGH
+        ),
+    ))
+
+
+def _lru_doc(cache: Cache, hits: List[bool]) -> Dict[str, Any]:
+    return {
+        "hits": "".join("1" if h else "0" for h in hits),
+        "stats": snapshot_cache_stats(cache.stats),
+        "resident_lines": cache.resident_lines(),
+        # Full state comparison, recency order included: both LRU
+        # representations must agree on *which* lines survive and in
+        # what eviction order, not just on the counters.
+        "sets": [
+            cache.set_contents(s) for s in range(cache.params.num_sets)
+        ],
+    }
+
+
+def _lru_reference(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.memory.cache import CODE_TO_KIND
+
+    cache = _lru_cache(params)
+    hits = [
+        cache.access_line(line, CODE_TO_KIND[kind])
+        for line, kind in _lru_accesses(params)
+    ]
+    return _lru_doc(cache, hits)
+
+
+def _lru_fast(params: Dict[str, Any]) -> Dict[str, Any]:
+    cache = _lru_cache(params)
+    accesses = _lru_accesses(params)
+    lines = np.array([a[0] for a in accesses], dtype=np.int64)
+    kinds = np.array([a[1] for a in accesses], dtype=np.int8)
+    # Split into chunks so the OrderedDict -> array migration happens
+    # mid-stream (chunk boundaries come from the case, deterministically).
+    rng = random.Random(params["access_seed"] ^ 0x5BD1E995)
+    hits: List[bool] = []
+    start = 0
+    while start < len(accesses):
+        stop = min(len(accesses), start + rng.randint(1, params["length"]))
+        hits.extend(
+            bool(h)
+            for h in cache.access_lines_batched(
+                lines[start:stop], kinds[start:stop]
+            )
+        )
+        start = stop
+    return _lru_doc(cache, hits)
+
+
+def _lru_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    return {
+        "ways": rng.choice((1, 2, 4, 8)),
+        "sets": rng.choice((1, 2, 4, 16)),
+        "write_back": rng.random() < 0.8,
+        "span_lines": rng.choice((4, 16, 64, 256)),
+        "length": rng.randint(20, 200 if budget == "smoke" else 2000),
+        "access_seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _lru_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    if params["length"] > 1:
+        yield {**params, "length": params["length"] // 2}
+        yield {**params, "length": params["length"] - 1}
+    if params["span_lines"] > 2:
+        yield {**params, "span_lines": params["span_lines"] // 2}
+    if params["sets"] > 1:
+        yield {**params, "sets": params["sets"] // 2}
+    if params["ways"] > 1:
+        yield {**params, "ways": params["ways"] // 2}
+    if params["write_back"]:
+        yield {**params, "write_back": False}
+
+
+register(Oracle(
+    name="lru.array",
+    suite="lru",
+    description=(
+        "timestamp-array LRU (batched mode) matches the OrderedDict "
+        "list mode on hits, counters and full per-set recency state"
+    ),
+    generate=_lru_generate,
+    reference=_lru_reference,
+    fast=_lru_fast,
+    shrink=_lru_shrink,
+))

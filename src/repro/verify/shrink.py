@@ -1,0 +1,177 @@
+"""Greedy case shrinker and committed-repro case files.
+
+When the fuzzer finds a case where the fast engine diverges from the
+reference, the raw params are usually noisy — a 40x37x23 GEMM on a
+3-level machine with a 1500-access trace. :func:`shrink_case` minimizes
+the failure greedily: it asks the oracle's ``shrink`` hook for candidate
+params, keeps any candidate that (a) still fails and (b) strictly
+reduces :func:`~repro.verify.oracle.numeric_size`, and repeats until no
+candidate helps or the evaluation budget runs out. The strict-decrease
+rule makes termination a theorem rather than a hope.
+
+A minimized case is written as a small JSON file under ``tests/cases/``;
+``repro verify --replay`` (and the test suite, for every committed file)
+re-runs it through the named oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.verify.oracle import (
+    CaseOutcome,
+    Oracle,
+    VerifyError,
+    get_oracle,
+    numeric_size,
+    run_case,
+)
+
+__all__ = [
+    "CASE_SCHEMA_VERSION",
+    "ShrinkResult",
+    "case_filename",
+    "load_case",
+    "replay_case",
+    "save_case",
+    "shrink_case",
+]
+
+CASE_SCHEMA_VERSION = 1
+
+Comparator = Callable[[Dict[str, Any], Dict[str, Any]], List[str]]
+
+
+class ShrinkResult:
+    """Outcome of a shrink run: the minimized params and bookkeeping."""
+
+    def __init__(
+        self,
+        params: Dict[str, Any],
+        mismatches: List[str],
+        evaluations: int,
+        initial_size: int,
+        final_size: int,
+    ) -> None:
+        self.params = params
+        self.mismatches = mismatches
+        self.evaluations = evaluations
+        self.initial_size = initial_size
+        self.final_size = final_size
+
+
+def shrink_case(
+    oracle: Oracle,
+    params: Dict[str, Any],
+    compare: Optional[Comparator] = None,
+    max_evals: int = 200,
+) -> ShrinkResult:
+    """Greedily minimize a failing case.
+
+    ``params`` must already fail under ``compare`` (the oracle's own
+    comparator when omitted); raises :class:`VerifyError` otherwise,
+    because "shrinking" a passing case would silently return it intact
+    and mask a harness bug.
+    """
+    outcome = run_case(oracle, params, compare=compare)
+    if outcome.ok:
+        raise VerifyError(
+            f"refusing to shrink a passing case for {oracle.name}"
+        )
+    initial_size = numeric_size(params)
+    best = params
+    best_mismatches = outcome.mismatches
+    best_size = initial_size
+    evals = 1
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in oracle.shrink(best):
+            if evals >= max_evals:
+                break
+            size = numeric_size(candidate)
+            if size >= best_size:
+                continue
+            try:
+                attempt = run_case(oracle, candidate, compare=compare)
+            except Exception:
+                # A shrink candidate that crashes an engine is a worse
+                # repro than one that mismatches; skip it.
+                evals += 1
+                continue
+            evals += 1
+            if not attempt.ok:
+                best = candidate
+                best_mismatches = attempt.mismatches
+                best_size = size
+                improved = True
+                break  # restart shrinking from the new, smaller case
+    return ShrinkResult(
+        params=best,
+        mismatches=best_mismatches,
+        evaluations=evals,
+        initial_size=initial_size,
+        final_size=best_size,
+    )
+
+
+# -- case files ---------------------------------------------------------------
+
+
+def case_filename(oracle_name: str, params: Dict[str, Any]) -> str:
+    """Stable filename for a case: oracle name + content digest."""
+    digest = hashlib.sha256(
+        json.dumps(params, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return f"{oracle_name.replace('.', '-')}-{digest}.json"
+
+
+def save_case(
+    directory: Path,
+    oracle_name: str,
+    params: Dict[str, Any],
+    note: str = "",
+) -> Path:
+    """Write a committed-ready repro file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / case_filename(oracle_name, params)
+    doc = {
+        "schema_version": CASE_SCHEMA_VERSION,
+        "kind": "verify-case",
+        "oracle": oracle_name,
+        "params": params,
+        "note": note,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Path) -> Dict[str, Any]:
+    """Read and validate a case file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise VerifyError(f"cannot read case file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "verify-case":
+        raise VerifyError(f"{path} is not a verify-case file")
+    if doc.get("schema_version") != CASE_SCHEMA_VERSION:
+        raise VerifyError(
+            f"{path}: case schema {doc.get('schema_version')!r} "
+            f"unsupported (want {CASE_SCHEMA_VERSION})"
+        )
+    for key in ("oracle", "params"):
+        if key not in doc:
+            raise VerifyError(f"{path}: missing {key!r}")
+    return doc
+
+
+def replay_case(path: Path) -> CaseOutcome:
+    """Re-run a committed case file through its oracle's real comparator."""
+    doc = load_case(path)
+    oracle = get_oracle(doc["oracle"])
+    return run_case(oracle, doc["params"])

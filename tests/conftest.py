@@ -1,0 +1,32 @@
+"""Shared test configuration: centralized Hypothesis profiles.
+
+Every property module inherits its deadline and shrinking behaviour from
+a named profile instead of repeating ``deadline=None`` per test:
+
+- ``dev`` (default locally): no deadline, randomized examples — the
+  exploratory profile for development machines of any speed.
+- ``ci`` (default when ``CI`` is set): derandomized so runs are
+  reproducible across jobs, with a generous fixed deadline that still
+  catches runaway quadratic cases, and ``print_blob`` so a CI failure
+  prints the ``@reproduce_failure`` blob needed to replay it locally.
+
+Select explicitly with ``HYPOTHESIS_PROFILE=dev|ci``. Individual tests
+keep their tuned ``max_examples`` in their own ``@settings`` — profile
+and decorator settings compose.
+"""
+
+import os
+from datetime import timedelta
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=timedelta(seconds=30),
+    print_blob=True,
+)
+
+_default = "ci" if os.environ.get("CI") else "dev"
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", _default))

@@ -249,7 +249,7 @@ class TestDualGebp:
 
 
 class TestHypothesisDifferential:
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     @given(
         name=st.sampled_from(COMPILABLE),
         bodies=st.integers(min_value=1, max_value=6),
@@ -268,7 +268,7 @@ class TestHypothesisDifferential:
         )
         assert_tile_identical(ri, rc)
 
-    @settings(max_examples=6, deadline=None)
+    @settings(max_examples=6)
     @given(
         name=st.sampled_from(["OpenBLAS-8x6", "OpenBLAS-4x4"]),
         na=st.integers(min_value=1, max_value=2),

@@ -55,7 +55,7 @@ def chips(draw):
 class TestBlockingOverArchitectures:
     @given(chips(), st.sampled_from([(8, 6), (8, 4), (4, 4)]),
            st.integers(1, 16))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_derived_blocking_is_resident(self, chip, tile, threads):
         assume(threads <= chip.cores)
         mr, nr = tile
@@ -69,7 +69,7 @@ class TestBlockingOverArchitectures:
         assert res.b_panel_level == 3
 
     @given(chips(), st.sampled_from([(8, 6), (8, 4), (4, 4)]))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_block_sizes_are_usable(self, chip, tile):
         mr, nr = tile
         try:
@@ -82,7 +82,7 @@ class TestBlockingOverArchitectures:
         assert blk.mc % mr == 0 or blk.mc % 8 == 0
 
     @given(chips())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_more_threads_never_grow_mc(self, chip):
         """Sharing an L2 can only shrink the per-thread A block; the
         private L1 leaves kc unchanged. (nc may go either way: smaller A

@@ -86,7 +86,7 @@ def oracle(instrs, init_regs, load_data):
 
 class TestExecutorOracle:
     @given(programs(), st.integers(0, 2**16))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_matches_oracle(self, instrs, seed):
         rng = np.random.default_rng(seed)
         init = rng.integers(-4, 5, size=(8, 2)).astype(float)
@@ -113,7 +113,7 @@ class TestExecutorOracle:
         assert np.array_equal(got_stores, want_stores)
 
     @given(programs())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_instruction_counter(self, instrs):
         memory = Memory()
         memory.map_region(MEM_BASE, np.zeros(2 * len(instrs) + 2))

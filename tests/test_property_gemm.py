@@ -28,19 +28,19 @@ def rand(m, n, seed):
 
 class TestPackingProperties:
     @given(DIMS, DIMS, st.integers(1, 12), st.integers(0, 2**16))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_pack_a_roundtrip(self, mc, kc, mr, seed):
         a = rand(mc, kc, seed)
         assert np.array_equal(unpack_a(pack_a(a, mr), mc), a)
 
     @given(DIMS, DIMS, st.integers(1, 12), st.integers(0, 2**16))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_pack_b_roundtrip(self, kc, nc, nr, seed):
         b = rand(kc, nc, seed)
         assert np.array_equal(unpack_b(pack_b(b, nr), nc), b)
 
     @given(DIMS, DIMS, st.integers(1, 12), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_pack_a_padding_is_zero(self, mc, kc, mr, seed):
         packed = pack_a(rand(mc, kc, seed), mr)
         pad = (-mc) % mr
@@ -48,7 +48,7 @@ class TestPackingProperties:
             assert np.all(packed[-1, :, mr - pad:] == 0.0)
 
     @given(DIMS, DIMS, st.integers(1, 12), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_pack_preserves_element_count(self, mc, kc, mr, seed):
         a = rand(mc, kc, seed)
         packed = pack_a(a, mr)
@@ -58,7 +58,7 @@ class TestPackingProperties:
 
 class TestDgemmProperties:
     @given(DIMS, DIMS, DIMS, TILE, BLOCKS, st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_matches_numpy_any_shape_any_blocking(
         self, m, n, k, tile, blocks, seed
     ):
@@ -71,7 +71,7 @@ class TestDgemmProperties:
         assert np.allclose(got, a @ b + c, atol=1e-9)
 
     @given(DIMS, DIMS, DIMS, st.integers(1, 8), st.integers(0, 2**16))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_parallel_equals_serial(self, m, n, k, threads, seed):
         blk = CacheBlocking(mr=8, nr=6, kc=16, mc=16, nc=12, k1=1, k2=1, k3=1)
         a, b, c = rand(m, k, seed), rand(k, n, seed + 1), rand(m, n, seed + 2)
@@ -84,7 +84,7 @@ class TestDgemmProperties:
            st.floats(-3, 3, allow_nan=False),
            st.floats(-3, 3, allow_nan=False),
            st.integers(0, 2**16))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_alpha_beta_linearity(self, m, n, k, alpha, beta, seed):
         blk = CacheBlocking(mr=4, nr=4, kc=16, mc=8, nc=8, k1=1, k2=1, k3=1)
         a, b, c = rand(m, k, seed), rand(k, n, seed + 1), rand(m, n, seed + 2)
@@ -93,7 +93,7 @@ class TestDgemmProperties:
         assert np.allclose(got, alpha * (a @ b) + beta * c, atol=1e-8)
 
     @given(DIMS, DIMS, DIMS, st.integers(0, 2**16))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_identity_k_zero_effectively(self, m, n, k, seed):
         """With alpha=0 the result is beta*C regardless of A and B."""
         blk = CacheBlocking(mr=4, nr=4, kc=16, mc=8, nc=8, k1=1, k2=1, k3=1)
@@ -113,7 +113,7 @@ class TestThreadedEngineProperties:
            st.booleans(),
            st.sampled_from([0.0, 1.0, 0.5]),
            st.integers(0, 2**16))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_threaded_bitwise_equals_serial(
         self, m, n, k, threads, axis, use_os_threads, beta, seed
     ):
@@ -141,7 +141,7 @@ class TestTraceEquivalence:
 
     @given(DIMS, DIMS, DIMS, st.integers(1, 8),
            st.sampled_from(["m", "n"]), st.integers(0, 2**16))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_synthetic_matches_functional(self, m, n, k, threads, axis, seed):
         from repro.gemm import GemmTrace, parallel_dgemm
         from repro.sim import synthesize_trace

@@ -58,7 +58,7 @@ class TestAssemblerProperties:
 
 class TestRotationProperties:
     @given(EVEN_TILES)
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     def test_solved_plan_is_conflict_free(self, tile):
         mr, nr = tile
         spec = KernelSpec(mr, nr)
@@ -68,7 +68,7 @@ class TestRotationProperties:
             assert len(set(regs)) == len(regs)
 
     @given(EVEN_TILES)
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     def test_rotation_at_least_as_good_as_static(self, tile):
         mr, nr = tile
         spec = KernelSpec(mr, nr)
@@ -76,7 +76,7 @@ class TestRotationProperties:
                 >= static_plan(spec).min_distance)
 
     @given(EVEN_TILES)
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     def test_read_windows_cover_all_fmla(self, tile):
         mr, nr = tile
         spec = KernelSpec(mr, nr)
@@ -86,7 +86,7 @@ class TestRotationProperties:
         assert max(r.last for r in reads.values()) == spec.fmla_per_iter - 1
 
     @given(EVEN_TILES)
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_schedule_correctness_invariants(self, tile):
         """Every value's load precedes its first use, streams are in
         order, and each copy frame contains exactly its load quota."""
@@ -125,7 +125,7 @@ class TestRotationProperties:
             assert use_pos > pos
 
     @given(st.permutations(list(range(1, 8))))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_any_cycle_yields_valid_plan(self, rest):
         from repro.kernels import KERNEL_8X6
 

@@ -185,13 +185,13 @@ class TestBatchedScalarEquivalence:
 
     @given(RANDOM_ACCESSES, POLICIES,
            st.integers(min_value=0, max_value=XGENE.cores - 1))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_hierarchy_equivalence_all_policies(self, rows, policy, core):
         self._compare(_shrunk_chip(policy), rows, core)
 
     @given(RANDOM_ACCESSES,
            st.integers(min_value=0, max_value=MOBILE_SOC.cores - 1))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_hierarchy_equivalence_no_l3_with_tlb(self, rows, core):
         chip = _shrunk_chip(ReplacementPolicy.LRU, base=MOBILE_SOC)
         chip = dataclasses.replace(chip, tlb=XGENE.tlb)
@@ -201,7 +201,7 @@ class TestBatchedScalarEquivalence:
         st.tuples(st.integers(0, 255), st.booleans()),
         min_size=1, max_size=300,
     ), st.integers(min_value=0, max_value=1_000_000))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_single_cache_batched_matches_scalar(self, ops, tail_min):
         """Both sweep paths (vector rounds and the per-access tail) agree
         with the scalar cache on hit pattern, stats and final contents."""
