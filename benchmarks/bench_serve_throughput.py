@@ -1,0 +1,242 @@
+"""Throughput of the memoized query-serving layer, cold vs warm.
+
+Runs the committed mixed-kind batch (``benchmarks/data/serve_batch.jsonl``
+— simulate, cachesim and timed queries with deliberate duplicates)
+twice through a :class:`repro.serve.QueryEngine` on a fresh cache
+directory and checks three things:
+
+- the second (fully cached) pass serves **every** occurrence from the
+  store: ``hits == queries``, zero computes, zero errors;
+- every answer document of the warm pass is **byte-identical** to the
+  cold pass's (the serialized JSON lines compare equal, which is the
+  same claim the ``serve.cache`` oracle fuzzes);
+- the warm pass clears the wall-clock speedup floor the cache exists
+  for (>= 10x on the full batch; >= 3x in ``--smoke`` mode, whose
+  shorter batch amortizes less).
+
+Runs standalone (``python bench_serve_throughput.py [--smoke]`` — the CI
+smoke gate) or under pytest-benchmark with the rest of the harness. The
+full run publishes ``benchmarks/results/baseline_serve.json`` with the
+serving counters (deterministic regression surface) and the measured
+queries/s (under ``stats.timing``, which the baseline comparator skips
+as wall clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from conftest import save_json, save_report
+
+from repro.analysis import format_table
+from repro.obs import RunReport
+
+BATCH_FILE = pathlib.Path(__file__).parent / "data" / "serve_batch.jsonl"
+
+#: Queries taken from the batch in smoke mode (full mode takes them all).
+SMOKE_COUNT = 8
+
+MIN_SPEEDUP_FULL = 10.0
+MIN_SPEEDUP_SMOKE = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PassResult:
+    """One pass over the batch: wall clock plus the serving counters."""
+
+    label: str
+    seconds: float
+    queries: int
+    hits: int
+    computed: int
+    deduped: int
+    errors: int
+
+    @property
+    def rate(self) -> float:
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TwoPassResult:
+    """Cold and warm passes over the same batch and cache directory."""
+
+    cold: PassResult
+    warm: PassResult
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.cold.seconds / max(self.warm.seconds, 1e-9)
+
+
+def load_batch(limit: Optional[int] = None) -> List[dict]:
+    docs = []
+    for line in BATCH_FILE.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        docs.append(json.loads(line))
+    return docs[:limit] if limit is not None else docs
+
+
+def run_two_pass(
+    docs: Sequence[dict], threads: int = 4,
+    cache_dir: Optional[str] = None,
+) -> TwoPassResult:
+    """Serve ``docs`` twice against one (initially empty) cache dir."""
+    from repro.gemm.pool import WorkerPool
+    from repro.serve import QueryEngine
+
+    tmp = cache_dir or tempfile.mkdtemp(prefix="bench-serve-")
+    pool = WorkerPool(threads) if threads > 1 else None
+    try:
+        passes = []
+        lines = []
+        for label in ("cold", "warm"):
+            engine = QueryEngine(tmp, pool=pool)
+            t0 = time.perf_counter()
+            answers = engine.run_batch(list(docs))
+            elapsed = time.perf_counter() - t0
+            s = engine.stats
+            passes.append(PassResult(
+                label=label, seconds=elapsed, queries=s.queries,
+                hits=s.hits, computed=s.computed, deduped=s.deduped,
+                errors=s.errors,
+            ))
+            lines.append([a.to_json_line() for a in answers])
+        return TwoPassResult(
+            cold=passes[0], warm=passes[1],
+            identical=lines[0] == lines[1],
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+        if cache_dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def check_result(result: TwoPassResult, min_speedup: float) -> None:
+    warm = result.warm
+    assert warm.errors == 0 and result.cold.errors == 0, (
+        f"{result.cold.errors} cold / {warm.errors} warm query errors"
+    )
+    assert warm.hits == warm.queries, (
+        f"warm pass not fully cached: {warm.hits} hits of "
+        f"{warm.queries} queries ({warm.computed} computed)"
+    )
+    assert result.identical, (
+        "warm-pass answers are not byte-identical to the cold pass"
+    )
+    assert result.speedup >= min_speedup, (
+        f"warm-pass speedup {result.speedup:.1f}x below the "
+        f"{min_speedup:.0f}x floor"
+    )
+
+
+def format_report(result: TwoPassResult, label: str) -> str:
+    text = format_table(
+        ["pass", "queries", "hits", "computed", "deduped", "errors",
+         "seconds", "queries/s"],
+        [[p.label, p.queries, p.hits, p.computed, p.deduped, p.errors,
+          p.seconds, p.rate] for p in (result.cold, result.warm)],
+        title=f"Memoized query serving, cold vs warm ({label})",
+    )
+    return (
+        f"{text}\nwarm pass: {result.speedup:.1f}x speedup, answers "
+        f"byte-identical: {result.identical}"
+    )
+
+
+def build_report(result: TwoPassResult, label: str) -> RunReport:
+    """The machine-readable counterpart of :func:`format_report`.
+
+    Serving counters and the byte-identical flag are the deterministic
+    regression surface; wall-clock rates live under ``stats.timing``,
+    which the baseline comparator skips.
+    """
+    return RunReport(
+        command="bench_serve_throughput",
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        params={"label": label, "batch": BATCH_FILE.name},
+        engines={"serve": {"requested": "pool", "selected": "pool",
+                           "fallback_reason": None}},
+        stats={
+            "passes": {
+                p.label: {
+                    "queries": p.queries,
+                    "hits": p.hits,
+                    "computed": p.computed,
+                    "deduped": p.deduped,
+                    "errors": p.errors,
+                }
+                for p in (result.cold, result.warm)
+            },
+            "identical": result.identical,
+            "timing": {
+                "cold_seconds": result.cold.seconds,
+                "warm_seconds": result.warm.seconds,
+                "speedup": result.speedup,
+                "cold_queries_per_s": result.cold.rate,
+                "warm_queries_per_s": result.warm.rate,
+            },
+        },
+    )
+
+
+def test_serve_throughput(benchmark, report_dir):
+    docs = load_batch()
+    result = benchmark.pedantic(run_two_pass, args=(docs,), rounds=1,
+                                iterations=1)
+    text = format_report(result, "committed batch")
+    save_report(report_dir, "serve_throughput", text)
+    save_json(report_dir, "baseline_serve",
+              build_report(result, "committed batch"))
+    check_result(result, MIN_SPEEDUP_FULL)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="first half of the batch, relaxed speedup floor, no "
+             "results file (the CI gate)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write a structured RunReport document to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = run_two_pass(load_batch(SMOKE_COUNT))
+        print(format_report(result, "smoke"))
+        if args.json:
+            build_report(result, "smoke").write(args.json)
+            print(f"wrote {args.json}")
+        check_result(result, MIN_SPEEDUP_SMOKE)
+    else:
+        result = run_two_pass(load_batch())
+        text = format_report(result, "committed batch")
+        out = pathlib.Path(__file__).parent / "results"
+        out.mkdir(exist_ok=True)
+        save_report(out, "serve_throughput", text)
+        report = build_report(result, "committed batch")
+        if args.json:
+            report.write(args.json)
+            print(f"wrote {args.json}")
+        else:
+            save_json(out, "baseline_serve", report)
+        check_result(result, MIN_SPEEDUP_FULL)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

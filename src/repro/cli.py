@@ -12,6 +12,8 @@ Exposes the library's main entry points without writing Python::
     repro sweep --threads 8 --start 256 --stop 6400 --step 512
     repro verify --suite all --seed 0          # differential fuzz sweep
     repro verify --replay tests/cases/x.json   # re-run a shrunk case
+    repro query --batch jobs.jsonl             # memoized query serving
+    repro serve --warm xgene                   # pre-warm the result cache
     repro report out.json                      # render a structured report
     repro report --diff baseline.json out.json # regression comparison
 
@@ -626,6 +628,145 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if doc["passed"] else 1
 
 
+def _load_batch(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL batch file (``-`` = stdin); blank/# lines skipped."""
+    import json
+
+    if path == "-":
+        fh = sys.stdin
+    else:
+        try:
+            fh = open(path)
+        except OSError as exc:
+            raise ReproError(f"cannot read batch file {path}: {exc}")
+    try:
+        docs = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not a JSON query document: {exc}"
+                )
+        return docs
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
+
+
+def _serve_engine(args: argparse.Namespace, metrics):
+    """A QueryEngine (and its pool, or None) per the CLI options."""
+    from repro.gemm.pool import WorkerPool
+    from repro.serve import QueryEngine
+
+    if args.threads < 1:
+        raise ReproError(f"--threads must be >= 1, got {args.threads}")
+    pool = WorkerPool(args.threads) if args.threads > 1 else None
+    return QueryEngine(args.cache_dir, pool=pool, metrics=metrics), pool
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Serve a batch of query documents through the memoized engine.
+
+    Reads one JSON query per line from ``--batch``, answers each from
+    the on-disk result cache (computing, deduplicating and persisting
+    misses on the worker pool), and streams one RunReport-schema answer
+    document per line to stdout (or ``--out``). The serving summary goes
+    to stderr so piped answer streams stay clean. ``--expect-all-hits``
+    exits nonzero unless every query was served from the cache — the
+    hook CI uses to prove cache persistence across process runs.
+    """
+    docs = _load_batch(args.batch)
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    engine, pool = _serve_engine(args, metrics)
+    try:
+        t0 = time.perf_counter()
+        answers = engine.run_batch(docs)
+        elapsed = time.perf_counter() - t0
+    finally:
+        if pool is not None:
+            pool.close()
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for answer in answers:
+            out.write(answer.to_json_line() + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    s = engine.stats
+    rate = s.queries / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {s.queries} queries in {elapsed:.3f}s ({rate:.0f}/s): "
+        f"{s.hits} hits, {s.computed} computed, {s.deduped} deduped, "
+        f"{s.errors} errors [cache {args.cache_dir}, "
+        f"{args.threads} thread(s)]",
+        file=sys.stderr,
+    )
+    _emit_report(
+        args, "query",
+        params={"batch": args.batch, "cache_dir": args.cache_dir,
+                "threads": args.threads},
+        metrics=metrics,
+        stats={
+            "serve": s.as_dict(),
+            "timing": {
+                "elapsed_seconds": elapsed,
+                "queries_per_second": rate,
+            },
+        },
+    )
+    if args.expect_all_hits and s.hits != s.queries:
+        print(
+            f"error: expected all {s.queries} queries to hit the cache, "
+            f"got {s.hits} hits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Pre-warm the result cache with a preset's standing query set."""
+    from repro.serve import ResultStore, warm_queries
+
+    docs = warm_queries(args.warm)
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    engine, pool = _serve_engine(args, metrics)
+    try:
+        t0 = time.perf_counter()
+        engine.run_batch(docs)
+        elapsed = time.perf_counter() - t0
+    finally:
+        if pool is not None:
+            pool.close()
+    s = engine.stats
+    store = engine.store if isinstance(engine.store, ResultStore) else None
+    print(f"warmed preset {args.warm!r}: {s.queries} queries in "
+          f"{elapsed:.3f}s ({s.computed} computed, {s.hits} already "
+          f"cached, {s.errors} errors)")
+    if store is not None:
+        print(f"cache {args.cache_dir}: {len(store)} entries, "
+              f"{store.bytes_held()} bytes")
+    _emit_report(
+        args, "serve",
+        params={"warm": args.warm, "cache_dir": args.cache_dir,
+                "threads": args.threads},
+        metrics=metrics,
+        stats={
+            "serve": s.as_dict(),
+            "timing": {"elapsed_seconds": elapsed},
+            "store": {
+                "entries": len(store) if store is not None else 0,
+                "bytes": store.bytes_held() if store is not None else 0,
+            },
+        },
+    )
+    return 1 if s.errors else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render, validate, or diff structured run reports.
 
@@ -853,6 +994,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the oracle registry and exit")
     add_json(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "query",
+        help="serve JSONL query documents from the memoized result "
+             "cache, computing misses concurrently on the worker pool",
+    )
+    p.add_argument("--batch", metavar="FILE", required=True,
+                   help="JSONL file with one query document per line "
+                        "('-' reads stdin)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result-store directory (created on demand)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="worker-pool size for computing cache misses "
+                        "(1 = compute inline)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the answer stream here instead of stdout")
+    p.add_argument("--expect-all-hits", action="store_true",
+                   help="exit nonzero unless every query was served "
+                        "from the cache")
+    add_json(p)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="pre-warm the result cache with a machine preset's "
+             "standing query set",
+    )
+    p.add_argument("--warm", default="all",
+                   choices=["xgene", "mobile", "all"],
+                   help="which preset's warm query set to compute")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result-store directory (created on demand)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="worker-pool size for computing cache misses")
+    add_json(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "report",

@@ -13,6 +13,7 @@ from repro.gemm.packing import (
 )
 from repro.gemm.parallel import parallel_dgemm
 from repro.gemm.pool import (
+    Job,
     PoolStats,
     ThreadCounters,
     WorkerPool,
@@ -30,6 +31,7 @@ __all__ = [
     "dgemm",
     "parallel_dgemm",
     "WorkerPool",
+    "Job",
     "PoolStats",
     "ThreadCounters",
     "get_shared_pool",

@@ -1,4 +1,4 @@
-"""Persistent worker pool for the parallel DGEMM engine.
+"""Persistent worker pool for the parallel DGEMM engine and job serving.
 
 The paper's multi-threaded DGEMM (Sec. IV-C) runs on a team of cores that
 lives for the whole program: each ``(jj, kk)`` panel iteration dispatches
@@ -17,6 +17,19 @@ re-raised in the caller. A process-wide shared pool is available through
 ``blas.gemm``, the CLI) amortize the thread creation over the process
 lifetime.
 
+Beyond barrier steps, the pool is a general job executor: :meth:`submit`
+hands an arbitrary callable to whichever worker frees up first and
+returns a :class:`Job` handle; :meth:`run_jobs` is the submit-all /
+collect-in-order convenience. The query-serving layer
+(:mod:`repro.serve`) dispatches cache misses this way, so simulate,
+cachesim and timed queries run concurrently on the same threads that
+serve GEBP barrier steps. Barrier steps keep priority: a worker always
+prefers its pending step task over the shared job queue.
+
+The shared pool grows **in place** (:meth:`grow`): existing holders keep
+a valid reference while new workers are added, so a thread mid-``run()``
+can never observe its pool being closed underneath it.
+
 :class:`PoolStats` is the engine's observability hook: per-logical-thread
 pack/GEBP wall-clock counters plus the number of barrier steps, so a user
 can see where each worker's time went (the per-core breakdown of Fig. 14
@@ -26,8 +39,9 @@ measured, not simulated).
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GemmError
 
@@ -146,33 +160,92 @@ class PoolStats:
         ]
 
 
+class Job:
+    """Handle to one callable submitted via :meth:`WorkerPool.submit`.
+
+    A minimal future: :meth:`result` blocks until a worker finished the
+    job and returns its value (or re-raises its exception in the
+    caller). Handles are single-assignment — a job runs exactly once.
+    """
+
+    __slots__ = ("_cond", "_done", "_result", "_exc")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._done = False
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def _finish(
+        self, result: Any, exc: Optional[BaseException]
+    ) -> None:
+        with self._cond:
+            self._result = result
+            self._exc = exc
+            self._done = True
+            self._cond.notify_all()
+
+    def done(self) -> bool:
+        with self._cond:
+            return self._done
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's return value; blocks until it finished.
+
+        Re-raises the job's exception if it failed; raises
+        :class:`GemmError` on timeout.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                raise GemmError(
+                    f"timed out after {timeout}s waiting for job"
+                )
+            if self._exc is not None:
+                raise self._exc
+            return self._result
+
+
 class WorkerPool:
-    """A fixed team of daemon worker threads with barrier-step dispatch.
+    """A team of daemon worker threads: barrier steps and general jobs.
 
     One :meth:`run` call is one step: ``fns[i]`` executes on worker ``i``
     (``None`` entries leave that worker idle), and the call returns only
     after every submitted task completed — the per-``(jj, kk)`` barrier
-    of the parallel loop nest. The pool is reused across steps and across
-    DGEMM calls; :meth:`close` (or context-manager exit) shuts it down.
+    of the parallel loop nest. :meth:`submit` instead enqueues one
+    callable for whichever worker frees up first and returns a
+    :class:`Job` handle — the dispatch mode of the query-serving layer.
+    The pool is reused across steps, jobs and DGEMM calls; :meth:`grow`
+    adds workers in place, and :meth:`close` (or context-manager exit)
+    shuts it down.
     """
 
     def __init__(self, threads: int, name: str = "gemm-worker"):
         if threads < 1:
             raise GemmError(f"pool needs at least 1 worker, got {threads}")
         self.threads = threads
+        self._name = name
         self._cond = threading.Condition()
         self._dispatch_lock = threading.Lock()
         self._generation = 0
         self._tasks: List[Optional[Task]] = [None] * threads
         self._pending = 0
         self._errors: List[BaseException] = []
+        self._jobs: Deque[Tuple[Job, Callable[[], Any]]] = deque()
         self._closed = False
         self.steps_dispatched = 0
-        self._workers = []
-        for t in range(threads):
+        self.jobs_dispatched = 0
+        self._workers: List[threading.Thread] = []
+        with self._cond:
+            self._spawn_workers(0, threads, start_generation=0)
+
+    def _spawn_workers(
+        self, start: int, stop: int, start_generation: int
+    ) -> None:
+        """Start workers ``start..stop``; caller holds ``_cond``."""
+        for t in range(start, stop):
             w = threading.Thread(
-                target=self._worker_loop, args=(t,),
-                name=f"{name}-{t}", daemon=True,
+                target=self._worker_loop, args=(t, start_generation),
+                name=f"{self._name}-{t}", daemon=True,
             )
             w.start()
             self._workers.append(w)
@@ -181,16 +254,41 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
-    def _worker_loop(self, t: int) -> None:
-        seen = 0
+    def _worker_loop(self, t: int, seen: int) -> None:
+        """Worker ``t``'s service loop.
+
+        ``seen`` starts at the generation current when the worker was
+        created, so workers added by :meth:`grow` never pick up the task
+        slot of a step dispatched before they existed.
+        """
         while True:
+            job: Optional[Tuple[Job, Callable[[], Any]]] = None
+            fn: Optional[Task] = None
             with self._cond:
-                while not self._closed and self._generation == seen:
+                while (
+                    not self._closed
+                    and self._generation == seen
+                    and not self._jobs
+                ):
                     self._cond.wait()
                 if self._closed:
                     return
-                seen = self._generation
-                fn = self._tasks[t]
+                if self._generation != seen:
+                    # Barrier steps outrank queued jobs: the DGEMM inner
+                    # loop's latency budget is tighter than any query's.
+                    seen = self._generation
+                    fn = self._tasks[t]
+                else:
+                    job = self._jobs.popleft()
+            if job is not None:
+                handle, work = job
+                try:
+                    value = work()
+                except BaseException as exc:
+                    handle._finish(None, exc)
+                else:
+                    handle._finish(value, None)
+                continue
             if fn is None:
                 continue
             try:
@@ -219,13 +317,17 @@ class WorkerPool:
             raise GemmError(
                 f"{len(fns)} tasks submitted to a {self.threads}-worker pool"
             )
-        tasks: List[Optional[Task]] = list(fns)
-        tasks.extend([None] * (self.threads - len(tasks)))
-        n_active = sum(1 for fn in tasks if fn is not None)
+        submitted: List[Optional[Task]] = list(fns)
+        n_active = sum(1 for fn in submitted if fn is not None)
         if n_active == 0:
             return
         with self._dispatch_lock:
             with self._cond:
+                if self._closed:
+                    raise GemmError("worker pool is closed")
+                # Pad under the lock: self.threads can only have grown
+                # since the length check above.
+                tasks = submitted + [None] * (self.threads - len(submitted))
                 self._tasks = tasks
                 self._errors = []
                 self._pending = n_active
@@ -238,15 +340,99 @@ class WorkerPool:
         if errors:
             raise errors[0]
 
-    def close(self) -> None:
-        """Shut the workers down (idempotent)."""
+    # -- general job dispatch (the serving layer's entry point) --------------
+
+    def submit(self, fn: Callable[[], Any]) -> Job:
+        """Enqueue ``fn`` for the first free worker; returns its handle.
+
+        Jobs interleave with barrier steps on the same workers; a worker
+        between steps drains the job queue in FIFO order.
+        """
+        if fn is None:
+            raise GemmError("cannot submit None as a job")
+        handle = Job()
+        with self._cond:
+            if self._closed:
+                raise GemmError("worker pool is closed")
+            self._jobs.append((handle, fn))
+            self.jobs_dispatched += 1
+            self._cond.notify_all()
+        return handle
+
+    def run_jobs(self, fns: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Submit every callable and collect results in submission order.
+
+        The first job exception (in submission order) is re-raised after
+        every job finished — mirroring :meth:`run`'s barrier contract.
+        """
+        handles = [self.submit(fn) for fn in fns]
+        results: List[Any] = []
+        first_exc: Optional[BaseException] = None
+        for handle in handles:
+            try:
+                results.append(handle.result())
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+                results.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    def grow(self, threads: int) -> None:
+        """Add workers so the pool serves at least ``threads`` (in place).
+
+        Safe for concurrent holders: growth quiesces behind the dispatch
+        lock (waiting out any in-flight barrier step) and never closes or
+        replaces anything, so a reference obtained earlier stays valid
+        and simply sees more workers. Shrinking is not supported; a
+        smaller ``threads`` is a no-op.
+        """
+        if threads <= self.threads:
+            return
+        with self._dispatch_lock:
+            with self._cond:
+                if self._closed:
+                    raise GemmError("cannot grow a closed worker pool")
+                if threads <= self.threads:
+                    return
+                old = self.threads
+                self._tasks = self._tasks + [None] * (threads - old)
+                self._spawn_workers(
+                    old, threads, start_generation=self._generation
+                )
+                self.threads = threads
+
+    def close(self, timeout: float = 1.0) -> None:
+        """Shut the workers down (idempotent).
+
+        Jobs still queued (never started) fail their handles with
+        :class:`GemmError`. A worker that does not join within
+        ``timeout`` seconds — e.g. wedged inside a task — is detected
+        and reported by name in a raised :class:`GemmError`; the pool is
+        left closed (unusable) on that path too.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
+            orphaned = list(self._jobs)
+            self._jobs.clear()
             self._cond.notify_all()
+        for handle, _fn in orphaned:
+            handle._finish(
+                None, GemmError("worker pool closed before job ran")
+            )
+        stuck = []
         for w in self._workers:
-            w.join(timeout=1.0)
+            w.join(timeout=timeout)
+            if w.is_alive():
+                stuck.append(w.name)
+        if stuck:
+            raise GemmError(
+                f"worker(s) failed to join within {timeout:.1f}s: "
+                + ", ".join(stuck)
+            )
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -258,7 +444,7 @@ class WorkerPool:
         state = "closed" if self._closed else "open"
         return (
             f"WorkerPool(threads={self.threads}, {state}, "
-            f"steps={self.steps_dispatched})"
+            f"steps={self.steps_dispatched}, jobs={self.jobs_dispatched})"
         )
 
 
@@ -271,18 +457,17 @@ def get_shared_pool(threads: int) -> WorkerPool:
 
     Created on first use and reused by every subsequent caller, so the
     thread-creation cost is paid once per process rather than once per
-    panel iteration.
+    panel iteration. Growth happens **in place** via
+    :meth:`WorkerPool.grow`: the pool object identity is stable across
+    grows, so a holder that obtained the pool earlier — possibly mid-
+    ``run()`` on another thread — is never handed a closed pool.
     """
     global _shared_pool
     with _shared_pool_lock:
-        if (
-            _shared_pool is None
-            or _shared_pool.closed
-            or _shared_pool.threads < threads
-        ):
-            if _shared_pool is not None and not _shared_pool.closed:
-                _shared_pool.close()
+        if _shared_pool is None or _shared_pool.closed:
             _shared_pool = WorkerPool(threads)
+        elif _shared_pool.threads < threads:
+            _shared_pool.grow(threads)
         return _shared_pool
 
 

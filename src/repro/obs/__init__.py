@@ -31,6 +31,8 @@ from repro.obs.metrics import (
 from repro.obs.run_report import (
     SCHEMA_VERSION,
     RunReport,
+    atomic_write_json,
+    atomic_write_text,
     flatten,
     snapshot_cache_stats,
     snapshot_gebp_cache_result,
@@ -49,6 +51,8 @@ __all__ = [
     "Span",
     "RunReport",
     "SCHEMA_VERSION",
+    "atomic_write_json",
+    "atomic_write_text",
     "validate_report",
     "flatten",
     "snapshot_cache_stats",

@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "RunReport",
     "SCHEMA_VERSION",
+    "atomic_write_json",
+    "atomic_write_text",
     "flatten",
     "snapshot_cache_stats",
     "snapshot_gebp_cache_result",
@@ -48,6 +52,40 @@ _SECTIONS = ("schema_version", "command", "created", "params", "engines",
              "metrics", "stats")
 
 _METRIC_SECTIONS = ("counters", "gauges", "histograms", "spans")
+
+
+def atomic_write_text(path: Any, text: str) -> None:
+    """Write ``text`` to ``path`` crash-safely.
+
+    The bytes land in a temporary file in the same directory and are
+    moved over ``path`` with :func:`os.replace`, so a reader (or a crash
+    mid-write) can only ever observe the old complete document or the
+    new complete document — never a truncated one. Every committed JSON
+    artifact of the repo (baselines, serve-cache entries, shrunk verify
+    cases) goes through here.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Any, doc: Any, indent: int = 2) -> None:
+    """Serialize ``doc`` deterministically and write it atomically."""
+    atomic_write_text(
+        path, json.dumps(doc, indent=indent, sort_keys=True) + "\n"
+    )
 
 
 @dataclass
@@ -93,8 +131,7 @@ class RunReport:
                 "refusing to write schema-invalid report: "
                 + "; ".join(problems)
             )
-        with open(path, "w") as fh:
-            fh.write(self.to_json() + "\n")
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "RunReport":

@@ -1,0 +1,349 @@
+"""The memoized query engine: dedup, pool dispatch, persistent answers.
+
+:class:`QueryEngine` turns the repo's three deterministic engine
+families into a serving layer. One :meth:`run_batch` call processes a
+list of query documents:
+
+1. every query is canonicalized and content-hash-keyed
+   (:mod:`repro.serve.query`);
+2. duplicate keys within the batch are **deduplicated** — each unique
+   key is looked up and computed at most once, however many times it
+   appears;
+3. unique keys are looked up in the persistent
+   :class:`~repro.serve.store.ResultStore`; hits are served verbatim
+   from disk;
+4. misses are dispatched as jobs to a
+   :class:`~repro.gemm.pool.WorkerPool` (via :meth:`WorkerPool.submit`)
+   so simulate, cachesim and timed computations run concurrently; with
+   no pool they are computed inline;
+5. freshly computed answers are validated, written atomically to the
+   store from the dispatching thread, and served.
+
+Answers are :class:`~repro.obs.run_report.RunReport` documents with
+``created=None`` — deliberately timestamp-free, so a cached answer is
+**byte-identical** to a freshly computed one (the ``serve.cache`` oracle
+holds the layer to that claim). A query that fails to canonicalize or
+compute produces an *error answer* (``stats.error``) that is served but
+never cached: a cache must not remember failures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gemm.pool import WorkerPool
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.run_report import RunReport
+from repro.serve.query import QueryError, query_key, resolve_machine
+from repro.serve.store import ResultStore
+
+__all__ = ["Answer", "QueryEngine", "ServeStats", "compute_answer"]
+
+
+@dataclass
+class ServeStats:
+    """Occurrence-level counters of one engine's lifetime.
+
+    ``queries == hits + computed + deduped + errors`` always holds:
+    every occurrence in a batch lands in exactly one bucket. ``hits``
+    counts occurrences served from the persistent store, ``computed``
+    counts unique cache misses actually executed, ``deduped`` counts
+    repeat occurrences of a computed key within a batch, and ``errors``
+    counts occurrences whose query failed to canonicalize or compute.
+    """
+
+    queries: int = 0
+    hits: int = 0
+    computed: int = 0
+    deduped: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "computed": self.computed,
+            "deduped": self.deduped,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class Answer:
+    """One served answer: the document plus its provenance.
+
+    Attributes:
+        index: Position of the query in the input batch.
+        key: Content-hash cache key (empty for malformed queries).
+        query: The canonical query (the raw input for malformed ones).
+        answer: The RunReport-schema answer document.
+        source: ``"hit"`` | ``"computed"`` | ``"dedup"`` | ``"error"``.
+    """
+
+    index: int
+    key: str
+    query: Dict[str, Any]
+    answer: Dict[str, Any]
+    source: str
+
+    def to_json_line(self) -> str:
+        """The answer as one deterministic JSON line (for streaming)."""
+        return json.dumps(self.answer, sort_keys=True)
+
+
+# -- per-kind executors -------------------------------------------------------
+
+
+def _simulate_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    from repro.sim.gemm_sim import GemmSimulator
+
+    _, chip = resolve_machine(query["machine"])
+    sim = GemmSimulator(chip)
+    perf = sim.simulate(
+        query["kernel"], query["m"], query["n"], query["k"],
+        threads=query["threads"], parallel_axis=query["parallel_axis"],
+    )
+    engines = {"model": {"requested": "analytic", "selected": "analytic",
+                         "fallback_reason": None}}
+    blk = perf.blocking
+    stats = {
+        "performance": {
+            "cycles": perf.cycles,
+            "flops": perf.flops,
+            "gflops": perf.gflops,
+            "efficiency": perf.efficiency,
+            "l1_loads": perf.l1_loads,
+            "breakdown": dict(perf.breakdown),
+        },
+        "blocking": {
+            "mr": blk.mr, "nr": blk.nr, "kc": blk.kc, "mc": blk.mc,
+            "nc": blk.nc,
+        },
+    }
+    return engines, stats
+
+
+def _cachesim_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    from repro.obs.run_report import snapshot_gebp_cache_result
+    from repro.sim.gemm_sim import GemmSimulator
+
+    _, chip = resolve_machine(query["machine"])
+    sim = GemmSimulator(chip)
+    requested = query["engine"]
+    selected = "scalar" if requested == "scalar" else "batched"
+    result = sim.cache_sim(
+        query["kernel"], threads=query["threads"],
+        nc_slice=query["nc_slice"], engine=requested, seed=query["seed"],
+    )
+    engines = {"cachesim": {"requested": requested, "selected": selected,
+                            "fallback_reason": None}}
+    return engines, {"result": snapshot_gebp_cache_result(result)}
+
+
+def _timed_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    from repro.obs.run_report import snapshot_timed_run
+    from repro.sim.gemm_sim import GemmSimulator
+
+    _, chip = resolve_machine(query["machine"])
+    sim = GemmSimulator(chip)
+    run = sim.timed_kernel(
+        query["kernel"], kc=query["kc"], engine=query["engine"],
+        hw_late=query["hw_late"], seed=query["seed"],
+    )
+    engines = {"timed": {"requested": query["engine"],
+                         "selected": run.engine,
+                         "fallback_reason": run.fallback_reason}}
+    return engines, {"run": snapshot_timed_run(run)}
+
+
+_EXECUTORS = {
+    "simulate": _simulate_answer,
+    "cachesim": _cachesim_answer,
+    "timed": _timed_answer,
+}
+
+
+def compute_answer(query: Dict[str, Any], key: str) -> Dict[str, Any]:
+    """Execute one canonical query and build its answer document.
+
+    The answer is a validated RunReport dict with ``created=None`` so
+    that recomputing the same query always yields the same bytes.
+    """
+    engines, stats = _EXECUTORS[query["kind"]](query)
+    return RunReport(
+        command="query",
+        created=None,
+        params={"key": key, "query": query},
+        engines=engines,
+        stats=stats,
+    ).to_dict()
+
+
+def _error_answer(
+    query: Dict[str, Any], key: str, exc: BaseException
+) -> Dict[str, Any]:
+    return RunReport(
+        command="query",
+        created=None,
+        params={"key": key, "query": query},
+        stats={"error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }},
+    ).to_dict()
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class QueryEngine:
+    """Memoized query-serving front end over the engine families.
+
+    Args:
+        store: A :class:`ResultStore` or a directory path for one.
+        pool: Optional worker pool; cache misses are submitted to it as
+            jobs and computed concurrently. ``None`` computes inline
+            (the mode the verify oracle uses).
+        metrics: Optional registry receiving ``serve.*`` counters and
+            the batch span; ``None`` costs nothing.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        pool: Optional[WorkerPool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else (
+            ResultStore(store)
+        )
+        self.pool = pool
+        self.metrics = metrics
+        self.stats = ServeStats()
+
+    def query(self, doc: Dict[str, Any]) -> Answer:
+        """Serve a single query document."""
+        return self.run_batch([doc])[0]
+
+    def run_batch(self, docs: List[Dict[str, Any]]) -> List[Answer]:
+        """Serve a batch: dedup, look up, dispatch misses, persist.
+
+        Returns one :class:`Answer` per input document, in input order.
+        """
+        if self.metrics is not None:
+            before = self.stats.as_dict()
+            with self.metrics.span("serve.batch"):
+                answers = self._run_batch(docs)
+            for name, value in self.stats.as_dict().items():
+                delta = value - before[name]
+                if delta:
+                    self.metrics.inc(f"serve.{name}", delta)
+            return answers
+        return self._run_batch(docs)
+
+    def _run_batch(self, docs: List[Dict[str, Any]]) -> List[Answer]:
+        self.stats.queries += len(docs)
+        # 1. Canonicalize. Malformed queries become error answers now;
+        #    everything else proceeds keyed.
+        keyed: List[Optional[Tuple[Dict[str, Any], str]]] = []
+        answers: List[Optional[Answer]] = [None] * len(docs)
+        for index, doc in enumerate(docs):
+            try:
+                canonical, key = query_key(doc)
+            except QueryError as exc:
+                self.stats.errors += 1
+                raw = doc if isinstance(doc, dict) else {"query": repr(doc)}
+                answers[index] = Answer(
+                    index=index, key="", query=raw,
+                    answer=_error_answer(raw, "", exc), source="error",
+                )
+                keyed.append(None)
+            else:
+                keyed.append((canonical, key))
+
+        # 2. Dedup: first occurrence of each key owns the lookup/compute.
+        order: List[str] = []
+        first: Dict[str, Tuple[Dict[str, Any], int]] = {}
+        for index, entry in enumerate(keyed):
+            if entry is None:
+                continue
+            canonical, key = entry
+            if key not in first:
+                first[key] = (canonical, index)
+                order.append(key)
+
+        # 3. Store lookups for unique keys.
+        unique: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        misses: List[str] = []
+        for key in order:
+            canonical, _ = first[key]
+            cached = self.store.get(key)
+            if cached is not None:
+                unique[key] = ("hit", cached)
+            else:
+                misses.append(key)
+
+        # 4. Compute misses — concurrently on the pool when available.
+        def job(canonical: Dict[str, Any], key: str):
+            def work() -> Dict[str, Any]:
+                return compute_answer(canonical, key)
+            return work
+
+        computed: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        if self.pool is not None and len(misses) > 1:
+            handles = [
+                (key, self.pool.submit(job(first[key][0], key)))
+                for key in misses
+            ]
+            for key, handle in handles:
+                try:
+                    computed[key] = ("computed", handle.result())
+                except Exception as exc:
+                    computed[key] = (
+                        "error", _error_answer(first[key][0], key, exc)
+                    )
+        else:
+            for key in misses:
+                try:
+                    computed[key] = (
+                        "computed", compute_answer(first[key][0], key)
+                    )
+                except Exception as exc:
+                    computed[key] = (
+                        "error", _error_answer(first[key][0], key, exc)
+                    )
+
+        # 5. Persist fresh answers (single-threaded, atomic per entry);
+        #    errors are served but never cached.
+        for key, (source, answer) in computed.items():
+            if source == "computed":
+                self.store.put(key, first[key][0], answer)
+            unique[key] = (source, answer)
+
+        # 6. Assemble per-occurrence answers and counters.
+        served: Dict[str, bool] = {}
+        for index, entry in enumerate(keyed):
+            if entry is None:
+                continue
+            canonical, key = entry
+            source, answer = unique[key]
+            if source == "hit":
+                self.stats.hits += 1
+                occurrence = "hit"
+            elif source == "error":
+                self.stats.errors += 1
+                occurrence = "error"
+            elif not served.get(key):
+                self.stats.computed += 1
+                occurrence = "computed"
+            else:
+                self.stats.deduped += 1
+                occurrence = "dedup"
+            served[key] = True
+            answers[index] = Answer(
+                index=index, key=key, query=canonical,
+                answer=answer, source=occurrence,
+            )
+        return [a for a in answers if a is not None]

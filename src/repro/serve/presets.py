@@ -1,0 +1,72 @@
+"""Warm-up query sets for ``repro serve --warm``.
+
+A *warm set* is a deterministic list of query documents covering the
+combinations a preset machine is most likely to be asked about: the
+paper's kernels at the canonical square sizes and thread counts, plus
+one cachesim slice and one timed micro-tile run per kernel. Warming a
+cache directory with one of these sets turns the corresponding future
+queries into pure disk reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.serve.query import MACHINE_PRESETS, QueryError
+
+__all__ = ["WARM_PRESETS", "warm_queries"]
+
+#: Kernels covered by every warm set (the paper's production pair).
+_WARM_KERNELS = ("OpenBLAS-8x6", "OpenBLAS-4x4")
+
+#: Square problem sizes warmed for the analytic model.
+_WARM_SIZES = (256, 512, 1024)
+
+#: Thread counts warmed (both presets have at least 4 cores).
+_WARM_THREADS = (1, 4)
+
+#: Valid arguments to :func:`warm_queries`.
+WARM_PRESETS = MACHINE_PRESETS + ("all",)
+
+
+def warm_queries(preset: str) -> List[Dict[str, Any]]:
+    """The warm-up batch for ``preset`` (a machine name or ``"all"``).
+
+    Every returned document is already in servable query shape; feeding
+    the list straight to :meth:`QueryEngine.run_batch` populates the
+    cache for it.
+    """
+    from repro.kernels.variants import get_variant
+
+    if preset not in WARM_PRESETS:
+        raise QueryError(
+            f"unknown warm preset {preset!r}; choose from "
+            f"{list(WARM_PRESETS)}"
+        )
+    machines = list(MACHINE_PRESETS) if preset == "all" else [preset]
+    queries: List[Dict[str, Any]] = []
+    for machine in machines:
+        for kernel in _WARM_KERNELS:
+            for threads in _WARM_THREADS:
+                for size in _WARM_SIZES:
+                    queries.append({
+                        "kind": "simulate",
+                        "machine": machine,
+                        "kernel": kernel,
+                        "m": size, "n": size, "k": size,
+                        "threads": threads,
+                    })
+            queries.append({
+                "kind": "cachesim",
+                "machine": machine,
+                "kernel": kernel,
+                "nc_slice": 12,
+            })
+            # kc must be a whole number of unrolled kernel bodies.
+            queries.append({
+                "kind": "timed",
+                "machine": machine,
+                "kernel": kernel,
+                "kc": get_variant(kernel).plan.unroll * 4,
+            })
+    return queries

@@ -507,3 +507,113 @@ register(Oracle(
     fast=_lru_fast,
     shrink=_lru_shrink,
 ))
+
+
+# =============================================================================
+# serve.cache — answers served from the result store vs fresh computes
+# =============================================================================
+
+_SERVE_KERNELS = ("OpenBLAS-8x6", "OpenBLAS-4x4")
+
+
+def _serve_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    from repro.kernels.variants import get_variant
+
+    kind = rng.choice(("simulate", "cachesim", "timed"))
+    kernel = rng.choice(_SERVE_KERNELS)
+    machine = rng.choice(("xgene", "mobile"))
+    query: Dict[str, Any] = {
+        "kind": kind, "kernel": kernel, "machine": machine,
+    }
+    hi = 48 if budget == "smoke" else 128
+    if kind == "simulate":
+        query.update({
+            "m": rng.randint(8, hi),
+            "n": rng.randint(8, hi),
+            "k": rng.randint(8, hi),
+            "threads": rng.randint(1, 2),
+            "parallel_axis": rng.choice(("m", "n")),
+        })
+    elif kind == "cachesim":
+        query.update({
+            "threads": 1,
+            "nc_slice": rng.choice((6, 12)),
+            "seed": rng.randint(0, 2**31 - 1),
+            "engine": rng.choice(("auto", "scalar")),
+        })
+    else:
+        unroll = get_variant(kernel).plan.unroll
+        query.update({
+            "kc": unroll * rng.randint(1, 2 if budget == "smoke" else 4),
+            "hw_late": rng.choice((0.0, 0.25, 0.5)),
+            "seed": rng.randint(0, 2**31 - 1),
+            "engine": "auto",
+        })
+    return {"query": query}
+
+
+def _serve_reference(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Fresh compute: the answer the engines give with no cache at all."""
+    from repro.serve.engine import compute_answer
+    from repro.serve.query import query_key
+
+    canonical, key = query_key(params["query"])
+    return compute_answer(canonical, key)
+
+
+def _serve_fast(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cached serve: compute once into a store, then answer from disk.
+
+    A fresh engine object does the second pass so the hit can only come
+    from the persisted entry, never from in-process state.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.engine import QueryEngine
+    from repro.verify.oracle import VerifyError
+
+    tmp = tempfile.mkdtemp(prefix="serve-oracle-")
+    try:
+        first = QueryEngine(tmp).query(params["query"])
+        if first.source != "computed":
+            raise VerifyError(
+                f"expected a cold cache miss, got {first.source!r}"
+            )
+        served = QueryEngine(tmp).query(params["query"])
+        if served.source != "hit":
+            raise VerifyError(
+                f"expected a warm cache hit, got {served.source!r}"
+            )
+        return served.answer
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _serve_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    query = params["query"]
+    for dim in ("m", "n", "k"):
+        if query.get(dim, 0) > 8:
+            yield {"query": {**query, dim: max(8, query[dim] // 2)}}
+    if query.get("nc_slice", 0) > 6:
+        yield {"query": {**query, "nc_slice": 6}}
+    if query.get("kc", 0) and query["kc"] > 4:
+        yield {"query": {**query, "kc": query["kc"] // 2}}
+    if query.get("threads", 1) > 1:
+        yield {"query": {**query, "threads": 1}}
+    if query.get("seed", 0) > 0:
+        yield {"query": {**query, "seed": 0}}
+
+
+register(Oracle(
+    name="serve.cache",
+    suite="serve",
+    description=(
+        "answers served from the sharded result store are bit-identical "
+        "to freshly computed ones for every query kind"
+    ),
+    generate=_serve_generate,
+    reference=_serve_reference,
+    fast=_serve_fast,
+    shrink=_serve_shrink,
+))

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.run_report import atomic_write_text
 from repro.verify.oracle import (
     CaseOutcome,
     Oracle,
@@ -146,7 +147,8 @@ def save_case(
         "params": params,
         "note": note,
     }
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Crash-safe: a committed-ready repro file must never be truncated.
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
 
 

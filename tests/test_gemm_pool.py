@@ -108,17 +108,236 @@ class TestWorkerPool:
         with pytest.raises(GemmError):
             WorkerPool(0)
 
-    def test_shared_pool_is_reused_and_grows(self):
+    def test_shared_pool_is_reused_and_grows_in_place(self):
+        """Growing must NOT close the old pool object: another thread may
+        be holding it mid-run(). The pool grows in place instead."""
         close_shared_pool()
         try:
             p2 = get_shared_pool(2)
             assert get_shared_pool(2) is p2
             assert get_shared_pool(1) is p2  # big enough already
             p4 = get_shared_pool(4)
-            assert p4 is not p2 and p4.threads == 4
-            assert p2.closed
+            assert p4 is p2 and p4.threads == 4
+            assert not p2.closed
+            # The grown pool really runs 4-wide barrier steps.
+            hits = []
+            p4.run([lambda i=i: hits.append(i) for i in range(4)])
+            assert sorted(hits) == [0, 1, 2, 3]
         finally:
             close_shared_pool()
+
+    def test_shared_pool_grow_while_busy(self):
+        """Regression: get_shared_pool(bigger) used to close the old pool
+        under a thread that was mid-run(), raising 'pool is closed'."""
+        close_shared_pool()
+        try:
+            errors = []
+            stop = threading.Event()
+
+            def hammer():
+                pool = get_shared_pool(2)
+                while not stop.is_set():
+                    try:
+                        pool.run([lambda: None, lambda: None])
+                    except GemmError as exc:
+                        errors.append(exc)
+                        return
+
+            workers = [threading.Thread(target=hammer) for _ in range(3)]
+            for w in workers:
+                w.start()
+            try:
+                for threads in (3, 4, 5, 6):
+                    get_shared_pool(threads)
+            finally:
+                stop.set()
+                for w in workers:
+                    w.join()
+            assert errors == []
+            assert get_shared_pool(2).threads == 6
+        finally:
+            close_shared_pool()
+
+    def test_grow_rejects_closed_pool_and_shrink_is_noop(self):
+        pool = WorkerPool(3)
+        pool.grow(2)  # shrink request: no-op
+        assert pool.threads == 3
+        pool.close()
+        with pytest.raises(GemmError):
+            pool.grow(5)
+
+    def test_close_reports_stuck_worker(self):
+        """close() must not silently leak a wedged worker thread."""
+        release = threading.Event()
+        started = threading.Event()
+        pool = WorkerPool(2, name="stucktest")
+
+        def wedge():
+            started.set()
+            release.wait()
+
+        pool.submit(wedge)
+        assert started.wait(timeout=5.0)  # the worker is now inside wedge
+        try:
+            with pytest.raises(GemmError, match="stucktest"):
+                pool.close(timeout=0.2)
+            assert pool.closed  # unusable even though close() raised
+            with pytest.raises(GemmError):
+                pool.run([lambda: None, lambda: None])
+        finally:
+            release.set()  # let the wedged worker exit
+
+    def test_pool_stats_consistent_after_grow_while_busy(self):
+        """Counters from a run during/after grow still cover every event."""
+        close_shared_pool()
+        try:
+            pool = get_shared_pool(2)
+            a = np.asfortranarray(RNG.standard_normal((96, 128)))
+            b = np.asfortranarray(RNG.standard_normal((128, 96)))
+            c = np.asfortranarray(RNG.standard_normal((96, 96)))
+            grown = threading.Thread(target=get_shared_pool, args=(4,))
+            done = []
+
+            def run_small():
+                s = PoolStats()
+                t = GemmTrace()
+                parallel_dgemm(a, b, c.copy(order="F"), threads=2,
+                               blocking=SMALL_BLOCKING, trace=t, stats=s,
+                               use_os_threads=True, pool=pool)
+                done.append((s, t))
+
+            runner = threading.Thread(target=run_small)
+            runner.start()
+            grown.start()
+            runner.join()
+            grown.join()
+            assert pool.threads == 4
+            # A post-grow 4-thread run on the same pool object.
+            s4, t4 = PoolStats(), GemmTrace()
+            parallel_dgemm(a, b, c.copy(order="F"), threads=4,
+                           blocking=SMALL_BLOCKING, trace=t4, stats=s4,
+                           use_os_threads=True, pool=pool)
+            for s, t in done + [(s4, t4)]:
+                n_a = sum(ct.pack_a_calls for ct in s.counters.values())
+                n_b = sum(ct.pack_b_calls for ct in s.counters.values())
+                n_g = sum(ct.gebp_calls for ct in s.counters.values())
+                assert n_a == len(
+                    [p for p in t.packs if p.operand == "A"]
+                )
+                assert n_b == len(
+                    [p for p in t.packs if p.operand == "B"]
+                )
+                assert n_g == len(t.gebps)
+                assert s.calls == 1
+        finally:
+            close_shared_pool()
+
+
+class TestJobAPI:
+    """The generalized submit/collect side of the pool (serving layer)."""
+
+    def test_submit_returns_result(self):
+        with WorkerPool(2) as pool:
+            job = pool.submit(lambda: 41 + 1)
+            assert job.result(timeout=5.0) == 42
+            assert job.done()
+
+    def test_run_jobs_preserves_order(self):
+        with WorkerPool(3) as pool:
+            got = pool.run_jobs([lambda i=i: i * i for i in range(10)])
+        assert got == [i * i for i in range(10)]
+
+    def test_job_exception_reraised_on_result(self):
+        def boom():
+            raise ValueError("job fault")
+        with WorkerPool(2) as pool:
+            job = pool.submit(boom)
+            with pytest.raises(ValueError, match="job fault"):
+                job.result(timeout=5.0)
+            # The pool survives a failed job.
+            assert pool.submit(lambda: 7).result(timeout=5.0) == 7
+
+    def test_jobs_interleave_with_barrier_steps(self):
+        """submit() work and run() barrier steps share the same workers
+        without deadlock; barrier steps take priority."""
+        log = []
+        with WorkerPool(2) as pool:
+            jobs = [pool.submit(lambda i=i: log.append(("job", i)))
+                    for i in range(4)]
+            for step in range(5):
+                pool.run([lambda s=step: log.append(("step", s))] * 2)
+            for job in jobs:
+                job.result(timeout=5.0)
+        assert sorted(e for e in log if e[0] == "job") == [
+            ("job", i) for i in range(4)
+        ]
+        assert [e for e in log if e[0] == "step"] == [
+            ("step", s) for s in range(5) for _ in range(2)
+        ]
+
+    def test_jobs_run_concurrently(self):
+        """Two blocking jobs must be in flight at once on a 2-wide pool."""
+        gate = threading.Barrier(2, timeout=5.0)
+        with WorkerPool(2) as pool:
+            jobs = [pool.submit(gate.wait) for _ in range(2)]
+            for job in jobs:
+                job.result(timeout=5.0)  # deadlocks if serialized
+
+    def test_submit_on_closed_pool_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(GemmError):
+            pool.submit(lambda: None)
+
+    def test_close_fails_queued_jobs(self):
+        """Jobs still queued when the pool closes must fail loudly, not
+        hang their waiters forever."""
+        import time
+
+        release = threading.Event()
+        started = threading.Event()
+        pool = WorkerPool(1)
+
+        def blocker_fn():
+            started.set()
+            release.wait(timeout=5.0)
+
+        blocker = pool.submit(blocker_fn)
+        orphan = pool.submit(lambda: "never runs")
+        assert started.wait(timeout=5.0)  # the lone worker is occupied
+
+        def unblock_once_closed():
+            while not pool.closed:
+                time.sleep(0.005)
+            release.set()
+
+        helper = threading.Thread(target=unblock_once_closed)
+        helper.start()
+        try:
+            pool.close(timeout=5.0)  # orphan is still queued here
+        finally:
+            release.set()
+            helper.join()
+        blocker.result(timeout=5.0)
+        with pytest.raises(GemmError, match="closed"):
+            orphan.result(timeout=5.0)
+
+    def test_result_timeout(self):
+        release = threading.Event()
+        pool = WorkerPool(1, name="timeouttest")
+        job = pool.submit(release.wait)
+        try:
+            with pytest.raises(GemmError, match="timed out"):
+                job.result(timeout=0.05)
+        finally:
+            release.set()
+            pool.close()
+
+    def test_jobs_dispatched_counter(self):
+        with WorkerPool(2) as pool:
+            pool.run_jobs([lambda: None] * 5)
+            assert pool.jobs_dispatched == 5
+            assert "jobs=5" in repr(pool)
 
 
 class TestWorkspace:

@@ -37,10 +37,11 @@ CASES_DIR = Path(__file__).parent / "cases"
 
 
 class TestRegistry:
-    def test_four_standing_oracles(self):
+    def test_standing_oracles(self):
         names = [o.name for o in all_oracles()]
         assert names == [
             "gemm.pool", "cachesim.batch", "timed.compiled", "lru.array",
+            "serve.cache",
         ]
 
     def test_suites_cover_every_oracle(self):
