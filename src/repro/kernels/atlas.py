@@ -118,6 +118,115 @@ def build_atlas_kernel() -> AtlasKernel:
     return AtlasKernel(body=body, epilogue=epilogue)
 
 
+@dataclass(frozen=True)
+class _KVecPlan:
+    """Duck-typed stand-in for a rotation plan: the kernel is statically
+    assigned, so the only consumed fields are the unroll depth and the
+    (cyclic) minimum register write-reuse distance of the body."""
+
+    unroll: int
+    min_distance: int
+
+
+@dataclass(frozen=True)
+class _KVecSchedule:
+    """Duck-typed stand-in for a body schedule."""
+
+    min_load_use_distance: int
+
+
+@dataclass(frozen=True)
+class KVecKernel:
+    """The ATLAS kernel in the generated-kernel interface.
+
+    Duck-types :class:`~repro.kernels.codegen.GeneratedKernel` closely
+    enough for the timed executor, the compiled engine and the CLI:
+    ``prologue`` is the A/B preamble (six loads priming group 0),
+    ``body`` one steady-state group, ``epilogue`` the ``faddp`` fold +
+    C stores.
+    """
+
+    spec: object
+    prologue: Program
+    body: Program
+    epilogue: Program
+    plan: _KVecPlan
+    schedule: _KVecSchedule
+
+
+def _cyclic_min_load_use_distance(body: Program) -> int:
+    """Min instruction distance from a body load to its first consumer,
+    treating the body as cyclic (the A reloads feed the next pass)."""
+    instrs = list(body)
+    n = len(instrs)
+    best = n
+    for idx, instr in enumerate(instrs):
+        if not instr.is_load:
+            continue
+        for d in range(1, n + 1):
+            if instr.dst in instrs[(idx + d) % n].reads():
+                best = min(best, d)
+                break
+    return best
+
+
+def _cyclic_min_write_reuse_distance(body: Program) -> int:
+    """Min cyclic distance between consecutive writes of one register —
+    the analogue of a rotation plan's reuse distance."""
+    instrs = list(body)
+    n = len(instrs)
+    last_writer: dict = {}
+    first_writer: dict = {}
+    best = n
+    for idx, instr in enumerate(instrs):
+        for reg in instr.writes():
+            if reg in last_writer:
+                best = min(best, idx - last_writer[reg])
+            else:
+                first_writer[reg] = idx
+            last_writer[reg] = idx
+    for reg, idx in first_writer.items():
+        best = min(best, idx + n - last_writer[reg])
+    return best
+
+
+def build_kvec_variant() -> KVecKernel:
+    """The ATLAS kernel packaged for the timed/compiled engines.
+
+    Memoized: the kernel has no kc-dependent prefetch distances, so one
+    instance serves every blocking depth (and the compiled engine's
+    id-keyed cache hits across calls).
+    """
+    global _KVEC_VARIANT
+    if _KVEC_VARIANT is None:
+        from repro.kernels.kernel_spec import KERNEL_5X5_ATLAS
+
+        kernel = build_atlas_kernel()
+        preamble = Program(name="atlas-5x5-kvec-preamble")
+        for i in range(MR):
+            preamble.append(Ldr(dst=A_REGS[i], base=A_POINTER, tag="A"))
+        preamble.append(Ldr(dst=B_REGS[0], base=B_POINTER, tag="B"))
+        _KVEC_VARIANT = KVecKernel(
+            spec=KERNEL_5X5_ATLAS,
+            prologue=preamble,
+            body=kernel.body,
+            epilogue=kernel.epilogue,
+            plan=_KVecPlan(
+                unroll=K_GROUP,
+                min_distance=_cyclic_min_write_reuse_distance(kernel.body),
+            ),
+            schedule=_KVecSchedule(
+                min_load_use_distance=_cyclic_min_load_use_distance(
+                    kernel.body
+                )
+            ),
+        )
+    return _KVEC_VARIANT
+
+
+_KVEC_VARIANT: Optional[KVecKernel] = None
+
+
 def pack_a_kvec(a_sliver: "np.ndarray") -> np.ndarray:
     """Pack a ``(kc, 5)`` A sliver k-vectorized: ``out[g, i, :]`` holds
     ``A[2g:2g+2, i]`` — one q-load per (group, row)."""

@@ -11,10 +11,17 @@ in batch (the same compile-once / relocate-per-call trick
 and time):
 
 - **values** — the by-element FMLA grid accumulates, for every C element,
-  its ``a[k, i] * b[k, j]`` terms in strictly ascending ``k``
-  (:func:`compilability` verifies this from the schedule), so the C tile
-  is an ordered NumPy accumulation (``np.add.accumulate`` applies adds
-  sequentially) that matches the interpreter bit for bit;
+  one ``a[k, i] * b[k, j]`` term per k of the unroll in a fixed
+  per-element order (:func:`compilability` extracts the accumulation
+  permutation from the schedule), so the C tile is an ordered NumPy
+  accumulation (``np.add.accumulate`` applies adds sequentially, after a
+  per-element ``np.take_along_axis`` reorder when the schedule deviates
+  from ascending k) that matches the interpreter bit for bit. Odd tiles
+  run in the same lane-padded layout the executor uses — the pad lanes
+  multiply zeros into discarded C rows, so the visible tile is
+  unaffected. K-vectorized kernels accumulate two-lane partial sums per
+  group and fold them with an ordered reduction reproducing ``faddp``
+  rounding exactly;
 - **addresses** — every load/prefetch address is affine in the body index
   (post-indexed pointer walks), so one pass over the body yields a memory
   event template; folding in the :class:`SequentialPrefetcher` (whose
@@ -41,7 +48,7 @@ import numpy as np
 
 from repro.arch.params import CoreParams
 from repro.errors import SimulationError
-from repro.isa.instructions import Fmla, Ldr, Prfm, Str
+from repro.isa.instructions import Faddp, Fmla, FmlaVec, Ldr, Prfm, Str
 from repro.isa.registers import DOUBLE_BYTES
 from repro.kernels.codegen import (
     A_POINTER,
@@ -49,7 +56,8 @@ from repro.kernels.codegen import (
     C_POINTER,
     GeneratedKernel,
 )
-from repro.kernels.execute import _body_load_targets
+from repro.kernels.execute import _body_load_targets, padded_stream_widths
+from repro.kernels.kernel_spec import KernelStyle
 from repro.memory.batch import ACCESS_DTYPE, BatchTrace
 from repro.memory.cache import CODE_LOAD, CODE_PREFETCH
 from repro.memory.prefetcher import SequentialPrefetcher
@@ -65,20 +73,26 @@ _POINTER_STREAM = {
 }
 
 
-def compilability(kernel: GeneratedKernel) -> Optional[str]:
+def compilability(kernel) -> Optional[str]:
     """Why ``kernel`` cannot take the compiled path, or ``None`` if it can.
 
-    The compiled engine covers the even-tile, by-element kernels the code
-    generator emits (Fig. 8 structure): an all-``ldr`` C prologue, a body
-    of post-indexed A/B loads, prefetches and by-element FMLAs whose
-    per-element accumulation order is ascending in ``k``, and an
-    all-``str`` epilogue. Anything else — odd tiles, k-vectorized bodies
-    with ``faddp`` reductions, non-sequential load streams — reports a
-    reason and is left to the interpreter.
+    The compiled engine covers two kernel families:
+
+    - **by-element** kernels the code generator emits (Fig. 8 structure):
+      an all-``ldr`` C prologue, a body of post-indexed A/B loads,
+      prefetches and by-element FMLAs covering every ``k`` of the unroll
+      exactly once per C element (in any per-element order — the
+      accumulation permutation is extracted as metadata), and an
+      all-``str`` epilogue. Odd tiles compile in the lane-padded layout.
+    - **k-vectorized** kernels (the ATLAS 5x5 family): an A/B preamble,
+      a full-vector FMLA body whose register dataflow is an affine
+      function of the group index (verified symbolically), and a
+      ``faddp``-fold epilogue.
+
+    Anything else reports a reason and is left to the interpreter.
     """
-    spec = kernel.spec
-    if spec.mr % 2 or spec.nr % 2:
-        return "odd tile: no by-element functional compilation"
+    if kernel.spec.style is KernelStyle.K_VECTORIZED:
+        return _kvec_compilability(kernel)
     for instr in kernel.prologue:
         if not isinstance(instr, Ldr) or instr.base.index != C_POINTER.index:
             return "prologue is not a C-pointer load sequence"
@@ -89,24 +103,24 @@ def compilability(kernel: GeneratedKernel) -> Optional[str]:
         if isinstance(instr, (Ldr, Prfm)):
             if instr.base.index not in (A_POINTER.index, B_POINTER.index):
                 return "body accesses memory outside the A/B streams"
+        elif isinstance(instr, FmlaVec):
+            return (
+                "body contains full-vector fmla outside a k-vectorized "
+                "kernel"
+            )
         elif not isinstance(instr, Fmla):
             return (
                 f"body contains {type(instr).__name__}: only by-element "
                 "fmla/ldr/prfm bodies compile"
             )
-    # Ascending-k accumulation per C element: for each fmla_index the
-    # copies must appear in program order 0..unroll-1, so the ordered
-    # NumPy accumulation reproduces the interpreter's float rounding.
-    last_copy: Dict[int, int] = {}
-    for op in kernel.schedule.ops:
-        if op.kind != "fmla":
-            continue
-        prev = last_copy.get(op.fmla_index, -1)
-        if op.copy != prev + 1:
-            return "fmla copies are not in ascending k order"
-        last_copy[op.fmla_index] = op.copy
-    if any(c != kernel.plan.unroll - 1 for c in last_copy.values()):
-        return "body does not cover every k of the unroll"
+    # Complete k coverage per C element: each fmla_index must apply every
+    # copy 0..unroll-1 exactly once. The program order of the copies is
+    # the element's accumulation order; it becomes metadata (see
+    # :func:`_accumulation_orders`), not a rejection.
+    try:
+        _accumulation_orders(kernel)
+    except SimulationError as exc:
+        return str(exc)
     # Address-sequential A/B streams (post-indexed execution reads
     # exactly the packed layout).
     try:
@@ -116,18 +130,153 @@ def compilability(kernel: GeneratedKernel) -> Optional[str]:
     return None
 
 
+def _accumulation_orders(kernel: GeneratedKernel) -> Optional[np.ndarray]:
+    """Per-element accumulation order of the body's FMLA grid.
+
+    Returns ``None`` when every element accumulates in ascending ``k``
+    (the common case — the ordered reduction needs no reorder), else an
+    ``(unroll, n_elements)`` int array whose column ``f`` lists, in
+    program order, the k-offsets element ``f`` accumulates. Raises
+    :class:`SimulationError` when the grid is incomplete or duplicated.
+    """
+    spec = kernel.spec
+    unroll = kernel.plan.unroll
+    orders: Dict[int, List[int]] = {}
+    for op in kernel.schedule.ops:
+        if op.kind != "fmla":
+            continue
+        orders.setdefault(op.fmla_index, []).append(op.copy)
+    n_elements = spec.a_regs_per_copy * spec.nr
+    if set(orders) != set(range(n_elements)):
+        raise SimulationError("body does not cover every C element")
+    for copies in orders.values():
+        if sorted(copies) != list(range(unroll)):
+            raise SimulationError(
+                "fmla copies do not cover every k of the unroll exactly "
+                "once per element"
+            )
+    if all(
+        copies == list(range(unroll)) for copies in orders.values()
+    ):
+        return None
+    perm = np.empty((unroll, n_elements), dtype=np.intp)
+    for f, copies in orders.items():
+        perm[:, f] = copies
+    return perm
+
+
+def _kvec_compilability(kernel) -> Optional[str]:
+    """Why a k-vectorized kernel cannot compile, or ``None``.
+
+    Proves, by symbolic register dataflow, that the kernel computes the
+    canonical k-vectorized grid: the preamble and body load the packed
+    A/B streams sequentially, every C element's accumulator receives
+    exactly one full-vector FMLA per body pass reading A value ``i`` and
+    B value ``j`` of that pass's group (the load pattern is affine in the
+    pass index — pass 1 must replay pass 0 shifted by one group), and the
+    epilogue folds each column's partial sums pairwise with ``faddp``
+    before storing.
+    """
+    spec = kernel.spec
+    if spec.k_iters_per_group != 2:
+        return "k-vectorized compilation needs two k-iterations per group"
+    mr, nr = spec.mr, spec.nr
+    pointers = {A_POINTER.index: "A", B_POINTER.index: "B"}
+    seq = {"A": 0, "B": 0}
+    regval: Dict[int, Tuple[str, int]] = {}
+
+    def run_loads_and_terms(program, terms_out):
+        for instr in program:
+            if isinstance(instr, Ldr):
+                stream = pointers.get(instr.base.index)
+                if stream is None:
+                    return "loads a stream other than A/B"
+                regval[instr.dst.index] = (stream, seq[stream])
+                seq[stream] += 1
+            elif isinstance(instr, FmlaVec):
+                a_val = regval.get(instr.multiplicand.index)
+                b_val = regval.get(instr.multiplier.index)
+                if a_val is None or b_val is None:
+                    return "fmla reads an unloaded register"
+                if a_val[0] != "A" or b_val[0] != "B":
+                    return "fmla operand streams are swapped or mixed"
+                terms_out.append(
+                    (instr.acc.index, a_val[1], b_val[1])
+                )
+            else:
+                return (
+                    f"body contains {type(instr).__name__}: only "
+                    "full-vector fmla/ldr bodies compile"
+                )
+        return None
+
+    err = run_loads_and_terms(kernel.prologue, [])
+    if err:
+        return f"preamble {err}"
+    passes: List[List[Tuple[int, int, int]]] = []
+    for _ in range(2):
+        terms: List[Tuple[int, int, int]] = []
+        err = run_loads_and_terms(kernel.body, terms)
+        if err:
+            return f"body {err}"
+        passes.append(terms)
+    shifted = [(acc, a + mr, b + nr) for acc, a, b in passes[0]]
+    if passes[1] != shifted:
+        return "body load pattern is not affine in the group index"
+    if len(passes[0]) != mr * nr:
+        return "body does not update every C element once per group"
+    # Epilogue: pairwise faddp folds down each column, stored in order.
+    # Column-major C buffer with 2*ceil(mr/2) lane-padded rows.
+    acc_of: Dict[Tuple[int, int], int] = {
+        (a, b): acc for acc, a, b in passes[0]
+    }
+    if len(acc_of) != mr * nr or len(
+        {acc for acc, _, _ in passes[0]}
+    ) != mr * nr:
+        return "C accumulators are not in one-to-one element correspondence"
+    row_pairs = spec.a_regs_per_copy
+    folded: Dict[int, Tuple[int, Optional[int]]] = {}
+    store_seq = 0
+    for instr in kernel.epilogue:
+        if isinstance(instr, Faddp):
+            folded[instr.dst.index] = (instr.first.index, instr.second.index)
+        elif isinstance(instr, Str):
+            if instr.base.index != C_POINTER.index:
+                return "epilogue stores outside the C stream"
+            col, pair = divmod(store_seq, row_pairs)
+            fold = folded.get(instr.src.index)
+            if fold is None:
+                return "epilogue stores an unfolded register"
+            first, second = fold
+            i = 2 * pair
+            if acc_of.get((i, col)) != first:
+                return "epilogue fold order does not match the C layout"
+            if i + 1 < mr and acc_of.get((i + 1, col)) != second:
+                return "epilogue fold order does not match the C layout"
+            store_seq += 1
+        else:
+            return (
+                f"epilogue contains {type(instr).__name__}: only "
+                "faddp/str epilogues compile"
+            )
+    if store_seq != row_pairs * nr:
+        return "epilogue does not store the whole C tile"
+    return None
+
+
 def _stream_layout(kernel: GeneratedKernel) -> Dict[str, int]:
     """Buffer-relative start offset of each stream's first body load.
 
     Raises if the body's loads are not address-sequential per stream.
     """
     spec = kernel.spec
+    pw_a, pw_b = padded_stream_widths(spec)
     targets, _preload = _body_load_targets(kernel)
     start: Dict[str, int] = {}
     expected: Dict[str, int] = {}
     for _idx, slot, k_off in targets:
         s = slot[0]
-        width = spec.mr if s == "A" else spec.nr
+        width = pw_a if s == "A" else pw_b
         off = (k_off * width + 2 * int(slot[1:])) * DOUBLE_BYTES
         if s not in start:
             start[s] = off
@@ -153,11 +302,13 @@ class CompiledKernel:
             with the :func:`compilability` reason if it cannot compile.
     """
 
-    def __init__(self, kernel: GeneratedKernel) -> None:
+    def __init__(self, kernel) -> None:
         reason = compilability(kernel)
         if reason is not None:
             raise SimulationError(f"kernel does not compile: {reason}")
         self.kernel = kernel
+        self._kvec = kernel.spec.style is KernelStyle.K_VECTORIZED
+        self._perm = None if self._kvec else _accumulation_orders(kernel)
         self.prologue_template = ScoreboardTemplate(list(kernel.prologue))
         self.body_template = ScoreboardTemplate(list(kernel.body))
         self.epilogue_template = ScoreboardTemplate(list(kernel.epilogue))
@@ -175,10 +326,17 @@ class CompiledKernel:
     ) -> np.ndarray:
         """The kernel's C tile, bit-identical to interpreted execution.
 
-        Every C element accumulates its ``kc`` products in ascending
-        ``k`` (guaranteed by :func:`compilability`); ``np.add.accumulate``
-        applies the additions sequentially, so the float rounding matches
-        the interpreter's one-FMLA-at-a-time updates exactly.
+        By-element kernels: every C element accumulates exactly one
+        product per ``k`` in the schedule's program order (metadata from
+        :func:`_accumulation_orders` — ascending ``k`` in the common
+        case, a per-element within-unroll reorder otherwise);
+        ``np.add.accumulate`` applies the additions sequentially, so the
+        float rounding matches the interpreter's one-FMLA-at-a-time
+        updates exactly.
+
+        K-vectorized kernels: two-lane partial sums accumulate per group
+        in order, then fold lane 0 + lane 1 — the exact arithmetic of
+        the ``faddp`` epilogue (``dst[0] = first[0] + first[1]``).
         """
         spec = self.kernel.spec
         c0 = (
@@ -186,9 +344,42 @@ class CompiledKernel:
             if c_tile is None
             else np.asarray(c_tile, float)
         )
+        if self._kvec:
+            mr, nr = spec.mr, spec.nr
+            groups = a_sliver.shape[0] // 2
+            ga = a_sliver.reshape(groups, 2, mr).transpose(0, 2, 1)
+            gb = b_sliver.reshape(groups, 2, nr).transpose(0, 2, 1)
+            terms = ga[:, :, None, :] * gb[:, None, :, :]
+            chain = np.concatenate(
+                [np.zeros((1, mr, nr, 2)), terms], axis=0
+            )
+            acc = np.add.accumulate(chain, axis=0)[-1]
+            return c0 + (acc[..., 0] + acc[..., 1])
         terms = a_sliver[:, :, None] * b_sliver[:, None, :]
+        if self._perm is not None:
+            terms = np.take_along_axis(
+                terms, self._element_k_order(a_sliver.shape[0]), axis=0
+            )
         chain = np.concatenate([c0[None], terms], axis=0)
         return np.add.accumulate(chain, axis=0)[-1]
+
+    def _element_k_order(self, kc: int) -> np.ndarray:
+        """``(kc, mr, nr)`` gather indices applying each element's
+        within-unroll accumulation order to the term stack."""
+        spec = self.kernel.spec
+        unroll = self.kernel.plan.unroll
+        mr, nr = spec.mr, spec.nr
+        # fmla_index f covers C rows (2*(f//nr), 2*(f//nr)+1), col f%nr.
+        per_unroll = np.empty((unroll, mr, nr), dtype=np.intp)
+        for f in range(self._perm.shape[1]):
+            rg, col = divmod(f, nr)
+            for row in (2 * rg, 2 * rg + 1):
+                if row < mr:
+                    per_unroll[:, row, col] = self._perm[:, f]
+        bodies = np.arange(0, kc, unroll, dtype=np.intp)
+        return (
+            bodies[:, None, None, None] + per_unroll[None]
+        ).reshape(kc, mr, nr)
 
     # -- memory layer -------------------------------------------------------
 
@@ -266,9 +457,13 @@ class CompiledKernel:
             None, 0, late_rate=hw_late, install=install
         )
         tag_of = {_STREAM_A: "A", _STREAM_B: "B"}
-        for sid, off in prologue_events:
-            rows.append((base_of[sid] + off, 1, CODE_LOAD, 0))
+        for sid, off, observed in prologue_events:
+            addr = base_of[sid] + off
+            rows.append((addr, 1, CODE_LOAD, 0))
             streams.append(sid)
+            if observed:
+                current_stream = sid
+                prefetcher.observe(addr // line_bytes, tag_of[sid])
         for body in range(n_bodies):
             for is_prefetch, sid, off, level in body_events:
                 addr = base_of[sid] + off + body * advance[sid]
@@ -317,22 +512,37 @@ class CompiledKernel:
         return self._memos.setdefault(key, {})
 
 
-def _compile_events(kernel: GeneratedKernel):
+def _compile_events(kernel):
     """Lower prologue/body to relocatable memory events.
 
     Returns ``(prologue_events, body_events, advance)`` where prologue
-    events are ``(stream, offset)`` loads, body events are
-    ``(is_prefetch, stream, offset, level)`` with offsets relative to the
-    stream's buffer base for body 0, and ``advance`` maps each stream to
-    its per-body pointer advance (body ``n`` adds ``n * advance``).
+    events are ``(stream, offset, observed)`` loads (``observed`` marks
+    A/B-stream loads the hardware prefetcher watches — the C prologue of
+    by-element kernels is not observed, matching the interpreter), body
+    events are ``(is_prefetch, stream, offset, level)`` with offsets
+    relative to the stream's buffer base for body 0, and ``advance`` maps
+    each stream to its per-body pointer advance (body ``n`` adds
+    ``n * advance``).
     """
-    start = _stream_layout(kernel)
-    prologue_events: List[Tuple[int, int]] = []
-    c_off = 0
-    for instr in kernel.prologue:
-        prologue_events.append((_STREAM_C, c_off))
-        c_off += instr.post_increment
-    cursor = {_STREAM_A: start.get("A", 0), _STREAM_B: start.get("B", 0)}
+    prologue_events: List[Tuple[int, int, bool]] = []
+    if kernel.spec.style is KernelStyle.K_VECTORIZED:
+        # The preamble walks the A/B streams directly; the body picks up
+        # from the preamble's cursors.
+        cursor = {_STREAM_A: 0, _STREAM_B: 0, _STREAM_C: 0}
+        for instr in kernel.prologue:
+            sid = _POINTER_STREAM[instr.base.index]
+            prologue_events.append((sid, cursor[sid], True))
+            cursor[sid] += instr.post_increment
+    else:
+        start = _stream_layout(kernel)
+        c_off = 0
+        for instr in kernel.prologue:
+            prologue_events.append((_STREAM_C, c_off, False))
+            c_off += instr.post_increment
+        cursor = {
+            _STREAM_A: start.get("A", 0),
+            _STREAM_B: start.get("B", 0),
+        }
     advance = {_STREAM_A: 0, _STREAM_B: 0, _STREAM_C: 0}
     body_events: List[Tuple[bool, int, int, int]] = []
     for instr in kernel.body:
@@ -355,7 +565,7 @@ _CACHE: Dict[int, CompiledKernel] = {}
 _CACHE_LIMIT = 64
 
 
-def compile_kernel(kernel: GeneratedKernel) -> CompiledKernel:
+def compile_kernel(kernel) -> CompiledKernel:
     """Compile ``kernel``, reusing a prior compilation of the same object.
 
     The cache is what lets independent entry points (micro-tile, GEBP,

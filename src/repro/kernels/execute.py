@@ -31,6 +31,20 @@ B_BASE = 0x40000
 C_BASE = 0x80000
 
 
+def padded_stream_widths(spec) -> "tuple[int, int]":
+    """Doubles per k-iteration of the packed A/B streams in memory.
+
+    By-element kernels load whole q-registers per column/row group, so an
+    odd tile is stored lane-padded: ``2 * ceil(mr/2)`` doubles per A row
+    (the pad lane multiplies into a discarded C row) and likewise for B.
+    Even tiles pad to themselves, preserving the original layout.
+    """
+    return (
+        LANES_PER_VECTOR * spec.a_regs_per_copy,
+        LANES_PER_VECTOR * spec.b_regs_per_copy,
+    )
+
+
 def _body_load_targets(kernel: GeneratedKernel):
     """For each load of the body, the k-iteration its data belongs to
     (relative to the body's first copy), plus the set of slots whose
@@ -74,7 +88,10 @@ def execute_micro_tile(
     """Run the generated kernel on one micro-tile.
 
     Args:
-        kernel: A generated (by-element, even-tile) kernel.
+        kernel: A generated (by-element) kernel. Odd tiles run in the
+            lane-padded layout of :func:`padded_stream_widths`: the pad
+            lanes hold zeros, multiply into discarded C rows, and are
+            sliced off the returned tile.
         a_sliver: Packed A sliver, shape ``(kc, mr)`` — ``a_sliver[k, i]``
             is the element of row ``i`` at depth ``k``.
         b_sliver: Packed B sliver, shape ``(kc, nr)``.
@@ -85,10 +102,7 @@ def execute_micro_tile(
     """
     spec = kernel.spec
     mr, nr = spec.mr, spec.nr
-    if mr % LANES_PER_VECTOR or nr % LANES_PER_VECTOR:
-        raise SimulationError(
-            "functional execution supports even (by-element) tiles only"
-        )
+    pw_a, pw_b = padded_stream_widths(spec)
     kc, mr_in = a_sliver.shape
     kc_b, nr_in = b_sliver.shape
     if (mr_in, nr_in) != (mr, nr) or kc != kc_b:
@@ -100,11 +114,14 @@ def execute_micro_tile(
     if kc % unroll:
         raise SimulationError(f"kc={kc} must be a multiple of unroll={unroll}")
 
-    # Memory image: packed slivers padded by one unroll of zeros (the last
-    # body's lookahead loads read them; their values are never consumed).
+    # Memory image: packed slivers in the lane-padded layout, padded by
+    # one unroll of zero rows (the last body's lookahead loads read them;
+    # their values are never consumed).
     memory = Memory()
-    a_padded = np.vstack([a_sliver, np.zeros((unroll, mr))])
-    b_padded = np.vstack([b_sliver, np.zeros((unroll, nr))])
+    a_padded = np.zeros((kc + unroll, pw_a))
+    a_padded[:kc, :mr] = a_sliver
+    b_padded = np.zeros((kc + unroll, pw_b))
+    b_padded[:kc, :nr] = b_sliver
     memory.map_region(A_BASE, a_padded)
     memory.map_region(B_BASE, b_padded)
     c0 = (
@@ -112,7 +129,10 @@ def execute_micro_tile(
     )
     if c0.shape != (mr, nr):
         raise SimulationError(f"C tile must be {mr}x{nr}")
-    memory.map_region(C_BASE, c0.T.copy())  # column-major tile buffer
+    # Column-major tile buffer, rows lane-padded like the A stream.
+    c_padded = np.zeros((pw_a, nr))
+    c_padded[:mr, :] = c0
+    memory.map_region(C_BASE, c_padded.T.copy())
 
     state = MachineState()
     ex = Executor(state, memory)
@@ -128,14 +148,14 @@ def execute_micro_tile(
     for slot in preload:
         reg = plan.register_for(slot, 0)
         idx = int(slot[1:])
-        src = a_sliver if slot[0] == "A" else b_sliver
+        src = a_padded if slot[0] == "A" else b_padded
         state.vregs[reg][:] = src[0, 2 * idx : 2 * idx + 2]
 
     first = {"A": None, "B": None}
     expected = {"A": None, "B": None}
     for _op_idx, slot, k_off in targets:
         stream = slot[0]
-        width = mr if stream == "A" else nr
+        width = pw_a if stream == "A" else pw_b
         base = A_BASE if stream == "A" else B_BASE
         addr = base + (k_off * width + 2 * int(slot[1:])) * DOUBLE_BYTES
         if first[stream] is None:
@@ -157,4 +177,4 @@ def execute_micro_tile(
     state.set_pointer(C_POINTER, C_BASE)
     ex.run(kernel.epilogue)
 
-    return memory.region_at(C_BASE).reshape(nr, mr).T.copy()
+    return memory.region_at(C_BASE).reshape(nr, pw_a).T[:mr, :].copy()

@@ -6,6 +6,9 @@
 - ``OpenBLAS-4x4`` — small tile, gamma = 4;
 - ``ATLAS-5x5`` — the comparison kernel of [11]: gamma = 5, with the odd
   tile's NEON lane waste;
+- ``ATLAS-5x5-kvec`` — the same 5x5 tile in its true k-vectorized form
+  (full-vector FMLAs over two-k groups, ``faddp`` fold epilogue), built
+  from real instructions in :mod:`repro.kernels.atlas`;
 - ``OpenBLAS-8x6-noRR`` — the Fig. 13 ablation: 8x6 without software
   register rotation (static assignment, short CL->NF windows).
 """
@@ -30,6 +33,7 @@ VARIANTS: Dict[str, KernelSpec] = {
     "OpenBLAS-8x4": KERNEL_8X4,
     "OpenBLAS-4x4": KERNEL_4X4,
     "ATLAS-5x5": KERNEL_5X5_ATLAS,
+    "ATLAS-5x5-kvec": KERNEL_5X5_ATLAS,
     "OpenBLAS-8x6-noRR": KERNEL_8X6_NO_ROTATION,
 }
 
@@ -48,11 +52,15 @@ PAPER_COMPARISON = (
 #: listing (see kernel_spec module docstring).
 _ATLAS_DISPLAY = KernelSpec(5, 5, "5x5-atlas-display", rotated=False)
 
-_cache: Dict[Tuple[str, int], GeneratedKernel] = {}
+_cache: Dict[Tuple[str, int], object] = {}
 
 
-def get_variant(name: str, kc: int = 512) -> GeneratedKernel:
+def get_variant(name: str, kc: int = 512):
     """Generate (and memoize) a named kernel variant.
+
+    Returns a :class:`GeneratedKernel` for the by-element variants and a
+    duck-typed :class:`~repro.kernels.atlas.KVecKernel` for
+    ``ATLAS-5x5-kvec``.
 
     Args:
         name: One of :data:`VARIANTS`.
@@ -67,7 +75,12 @@ def get_variant(name: str, kc: int = 512) -> GeneratedKernel:
                 f"unknown kernel variant {name!r}; "
                 f"choose from {sorted(VARIANTS)}"
             ) from None
-        if spec is KERNEL_5X5_ATLAS:
-            spec = _ATLAS_DISPLAY
-        _cache[key] = generate_kernel(spec, kc=kc)
+        if name == "ATLAS-5x5-kvec":
+            from repro.kernels.atlas import build_kvec_variant
+
+            _cache[key] = build_kvec_variant()
+        else:
+            if spec is KERNEL_5X5_ATLAS:
+                spec = _ATLAS_DISPLAY
+            _cache[key] = generate_kernel(spec, kc=kc)
     return _cache[key]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -541,6 +541,62 @@ class Cache:
                 for i in range(self._ways):
                     tags[i] = None
                     dirty[i] = False
+
+    def snapshot(self) -> dict:
+        """Copy of the full cache state: contents, stats and counters.
+
+        The snapshot preserves whichever LRU representation (OrderedDict
+        or timestamp arrays) currently holds the state, so a restored
+        cache replays any trace bit-identically — including the lazy
+        array-mode migration point. The snapshot itself stays reusable:
+        it can be restored any number of times.
+        """
+        snap: dict = {
+            "stats": replace(self.stats),
+            "batched_accesses": self.batched_accesses,
+            "batched_fallback_accesses": self.batched_fallback_accesses,
+            "clock": self._clock,
+        }
+        if self._is_lru:
+            if self._array_mode:
+                snap["mode"] = "array"
+                snap["tags"] = self._tags_arr.copy()
+                snap["ts"] = self._ts_arr.copy()
+                snap["dirty"] = self._dirty_arr.copy()
+            else:
+                snap["mode"] = "lru"
+                snap["sets"] = [OrderedDict(s) for s in self._lru_sets]
+        else:
+            snap["mode"] = "generic"
+            snap["tags"] = [list(t) for t in self._tags]
+            snap["dirty"] = [list(d) for d in self._dirty]
+            # RANDOM policies may share one RNG across sets; their state()
+            # copies are then identical and restore is idempotent.
+            snap["policies"] = [p.state() for p in self._policies]
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot` (contents, stats, counters)."""
+        self.stats = replace(snap["stats"])
+        self.batched_accesses = snap["batched_accesses"]
+        self.batched_fallback_accesses = snap["batched_fallback_accesses"]
+        self._clock = snap["clock"]
+        mode = snap["mode"]
+        if mode == "array":
+            self._array_mode = True
+            self._tags_arr = snap["tags"].copy()
+            self._ts_arr = snap["ts"].copy()
+            self._dirty_arr = snap["dirty"].copy()
+            self._lru_sets = []
+        elif mode == "lru":
+            self._array_mode = False
+            self._tags_arr = self._ts_arr = self._dirty_arr = None
+            self._lru_sets = [OrderedDict(s) for s in snap["sets"]]
+        else:
+            self._tags = [list(t) for t in snap["tags"]]
+            self._dirty = [list(d) for d in snap["dirty"]]
+            for policy, state in zip(self._policies, snap["policies"]):
+                policy.set_state(state)
 
     def reset_stats(self) -> None:
         """Zero every statistic, including the batched-engine coverage

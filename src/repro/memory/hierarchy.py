@@ -24,6 +24,7 @@ from repro.arch.params import ChipParams, WritePolicy
 from repro.errors import SimulationError
 from repro.memory.cache import (
     CODE_PREFETCH,
+    CODE_STORE,
     KIND_LOAD,
     KIND_PREFETCH,
     KIND_STORE,
@@ -222,18 +223,18 @@ class MemoryHierarchy:
         program order, with software prefetches targeting the next level —
         propagates downward. The decomposition is exact because each
         cache's state depends only on its own access sequence, which the
-        per-level subsets preserve. Write-through hierarchies interleave
-        store propagation across levels, so they (and ``force_scalar=True``)
-        take the scalar oracle path instead; RANDOM/PLRU levels are handled
-        per cache inside :meth:`Cache.access_lines_batched`.
+        per-level subsets preserve. Write-through levels propagate stores
+        that hit them outward as an *injected* store subset, merged with
+        the walking miss subset in program order — the batched mirror of
+        the scalar propagation chain. RANDOM/PLRU levels are handled per
+        cache inside :meth:`Cache.access_lines_batched`;
+        ``force_scalar=True`` takes the scalar oracle path.
         """
         from repro.memory.trace import TraceCost, run_trace
 
         levels = self.levels_for(core)
         level_params = self.chip.cache_levels
-        if force_scalar or any(
-            p.write_policy is WritePolicy.WRITE_THROUGH for p in level_params
-        ):
+        if force_scalar:
             return run_trace(self, core, trace, max_level)
         lb = self.dram_line_bytes
         lines, kinds, plevels = trace.expand_lines(lb)
@@ -262,21 +263,63 @@ class MemoryHierarchy:
                     tlb_misses += 1
             latency += tlb_misses * tlb.params.miss_penalty_cycles
         active = np.flatnonzero(demand | (plevels == 1))
+        inject = np.empty(0, dtype=np.int64)
+        is_store = kinds == CODE_STORE
         for depth, cache in enumerate(levels, start=1):
             if depth > 1:
                 entering = np.flatnonzero(is_prefetch & (plevels == depth))
                 if entering.size:
                     active = np.sort(np.concatenate([active, entering]))
-            if active.size == 0:
+            if active.size == 0 and inject.size == 0:
                 continue
-            hits = cache.access_lines_batched(lines[active], kinds[active])
-            hit_demand = int(demand[active[hits]].sum())
+            # Injected write-through stores join the walking subset in
+            # program order. The two are disjoint: a store either hit a
+            # shallower level (injected here) or missed it (still walking).
+            if inject.size:
+                merged = np.concatenate([active, inject])
+                order = np.argsort(merged, kind="stable")
+                merged = merged[order]
+                from_walk = np.concatenate(
+                    [
+                        np.ones(active.size, dtype=bool),
+                        np.zeros(inject.size, dtype=bool),
+                    ]
+                )[order]
+            else:
+                merged, from_walk = active, None
+            hits = cache.access_lines_batched(lines[merged], kinds[merged])
+            if from_walk is None:
+                walk_idx, walk_hits = merged, hits
+            else:
+                walk_idx, walk_hits = merged[from_walk], hits[from_walk]
+            hit_demand = int(demand[walk_idx[walk_hits]].sum())
             if hit_demand:
                 cost.level_hits[min(depth - 1, max_level - 1)] += hit_demand
                 latency += hit_demand * level_params[depth - 1].latency_cycles
+            # Write-through: stores served here start propagating, and
+            # already-injected stores keep chaining — both regardless of
+            # the propagated access's own outcome (the scalar chain is
+            # gated on the levels' write policies, not on hit results).
+            wt = (
+                level_params[depth - 1].write_policy
+                is WritePolicy.WRITE_THROUGH
+            )
+            if wt:
+                stores_hit = walk_idx[walk_hits & is_store[walk_idx]]
+                next_inject = (
+                    np.sort(np.concatenate([stores_hit, inject]))
+                    if inject.size
+                    else stores_hit
+                )
+                if depth == len(levels):
+                    self.dram_accesses += int(next_inject.size)
+                    next_inject = np.empty(0, dtype=np.int64)
+            else:
+                next_inject = np.empty(0, dtype=np.int64)
+            inject = next_inject
             # Misses — demand walks on; prefetches install level by level
             # until they find the line resident (the scalar break).
-            active = active[~hits]
+            active = walk_idx[~walk_hits]
         to_dram = int(demand[active].sum())
         if to_dram:
             self.dram_accesses += to_dram
@@ -311,9 +354,7 @@ class MemoryHierarchy:
         levels = self.levels_for(core)
         level_params = self.chip.cache_levels
         lb = self.dram_line_bytes
-        if force_scalar or any(
-            p.write_policy is WritePolicy.WRITE_THROUGH for p in level_params
-        ):
+        if force_scalar:
             served: List[int] = []
             lats: List[int] = []
             for acc in trace:
@@ -349,16 +390,53 @@ class MemoryHierarchy:
                 if not tlb.access_line(int(lines[idx]), lb):
                     tlb_penalty[idx] = tlb.params.miss_penalty_cycles
         active = np.flatnonzero(demand | (plevels == 1))
+        inject = np.empty(0, dtype=np.int64)
+        is_store = kinds == CODE_STORE
         for depth, cache in enumerate(levels, start=1):
             if depth > 1:
                 entering = np.flatnonzero(is_prefetch & (plevels == depth))
                 if entering.size:
                     active = np.sort(np.concatenate([active, entering]))
-            if active.size == 0:
+            if active.size == 0 and inject.size == 0:
                 continue
-            hits = cache.access_lines_batched(lines[active], kinds[active])
-            served_at[active[hits]] = depth
-            active = active[~hits]
+            # See run_batch: injected write-through stores merge with the
+            # walking subset in program order; the two are disjoint.
+            if inject.size:
+                merged = np.concatenate([active, inject])
+                order = np.argsort(merged, kind="stable")
+                merged = merged[order]
+                from_walk = np.concatenate(
+                    [
+                        np.ones(active.size, dtype=bool),
+                        np.zeros(inject.size, dtype=bool),
+                    ]
+                )[order]
+            else:
+                merged, from_walk = active, None
+            hits = cache.access_lines_batched(lines[merged], kinds[merged])
+            if from_walk is None:
+                walk_idx, walk_hits = merged, hits
+            else:
+                walk_idx, walk_hits = merged[from_walk], hits[from_walk]
+            served_at[walk_idx[walk_hits]] = depth
+            wt = (
+                level_params[depth - 1].write_policy
+                is WritePolicy.WRITE_THROUGH
+            )
+            if wt:
+                stores_hit = walk_idx[walk_hits & is_store[walk_idx]]
+                next_inject = (
+                    np.sort(np.concatenate([stores_hit, inject]))
+                    if inject.size
+                    else stores_hit
+                )
+                if depth == len(levels):
+                    self.dram_accesses += int(next_inject.size)
+                    next_inject = np.empty(0, dtype=np.int64)
+            else:
+                next_inject = np.empty(0, dtype=np.int64)
+            inject = next_inject
+            active = walk_idx[~walk_hits]
         dram_idx = active[demand[active]]
         self.dram_accesses += dram_idx.size
         served_at[dram_idx] = len(levels) + 1
@@ -433,6 +511,48 @@ class MemoryHierarchy:
         if self.l3 is None:
             return CacheStats()
         return self.l3.stats
+
+    def batched_fallback_accesses(self) -> int:
+        """Line accesses the batched engine resolved through the scalar
+        per-access fallback (RANDOM/PLRU caches), summed over all caches
+        since the last stats reset."""
+        return sum(
+            c.batched_fallback_accesses for c in self.all_caches().values()
+        )
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of the full cache/TLB/DRAM state, for warm-state reuse.
+
+        Restoring the snapshot on the same hierarchy reproduces contents,
+        statistics and replacement state bit-exactly, so a sweep can carry
+        a warmed hierarchy across adjacent points instead of re-replaying
+        the warm-up trace. Hardware-prefetcher stream state is deliberately
+        excluded: prefetchers are re-attached per run and observe their
+        streams from the replayed trace itself.
+        """
+        return {
+            "caches": {
+                name: cache.snapshot()
+                for name, cache in self.all_caches().items()
+            },
+            "dram_accesses": self.dram_accesses,
+            "tlbs": [
+                tlb.snapshot() if tlb is not None else None
+                for tlb in self.tlbs
+            ],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a :meth:`snapshot`; the snapshot stays reusable."""
+        caches = self.all_caches()
+        for name, cache_snap in snap["caches"].items():
+            caches[name].restore(cache_snap)
+        self.dram_accesses = snap["dram_accesses"]
+        for tlb, tlb_snap in zip(self.tlbs, snap["tlbs"]):
+            if tlb is not None and tlb_snap is not None:
+                tlb.restore(tlb_snap)
 
     def flush(self) -> None:
         """Empty every cache and TLB (stats retained).

@@ -28,6 +28,14 @@ class SetPolicy:
         """Choose the way to evict (caller then calls :meth:`touch`)."""
         raise NotImplementedError
 
+    def state(self):
+        """Opaque copy of the victim-selection state (for snapshots)."""
+        raise NotImplementedError
+
+    def set_state(self, state) -> None:
+        """Restore a state captured by :meth:`state`."""
+        raise NotImplementedError
+
 
 class LruSetPolicy(SetPolicy):
     """True LRU: maintain ways in recency order (index 0 = LRU)."""
@@ -43,6 +51,12 @@ class LruSetPolicy(SetPolicy):
     def victim(self) -> int:
         return self._order[0]
 
+    def state(self):
+        return list(self._order)
+
+    def set_state(self, state) -> None:
+        self._order = list(state)
+
 
 class RandomSetPolicy(SetPolicy):
     """Uniform-random victim selection (deterministic via a seeded RNG)."""
@@ -56,6 +70,15 @@ class RandomSetPolicy(SetPolicy):
 
     def victim(self) -> int:
         return self._rng.randrange(self.ways)
+
+    def state(self):
+        # The RNG may be shared across a cache's sets (seeded hierarchies):
+        # every set then reports the same state and restoring is
+        # idempotent, leaving the shared stream where the snapshot took it.
+        return self._rng.getstate()
+
+    def set_state(self, state) -> None:
+        self._rng.setstate(state)
 
 
 class PlruSetPolicy(SetPolicy):
@@ -105,6 +128,12 @@ class PlruSetPolicy(SetPolicy):
                 return lo
             # Unreachable padded leaf: flip the path and retry.
             self.touch(min(lo, self.ways - 1))
+
+    def state(self):
+        return list(self._bits)
+
+    def set_state(self, state) -> None:
+        self._bits = list(state)
 
 
 def make_set_policy(

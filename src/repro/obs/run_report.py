@@ -100,7 +100,7 @@ class RunReport:
         params: The run's input parameters (CLI args, sweep points).
         engines: Per-engine-slot selection record, e.g.
             ``{"timed": {"requested": "auto", "selected": "interpreted",
-            "fallback_reason": "odd tile: ..."}}``.
+            "fallback_reason": "body contains full-vector fmla ..."}}``.
         metrics: A :meth:`MetricsRegistry.as_dict` dump.
         stats: Snapshots of the engine stat objects (see the
             ``snapshot_*`` helpers).

@@ -54,8 +54,9 @@ def random_machine(rng: random.Random, budget: str = "default") -> Dict[str, Any
             "line": line,
             "latency": latency,
             "replacement": rng.choice(_POLICIES),
-            # Write-through is rare: it routes the batched engine onto its
-            # scalar fallback, which we still want covered, just not often.
+            # Write-through is rare on the modeled chips; it exercises the
+            # batched engine's store-propagation walk, which we want
+            # covered without dominating the sweep.
             "write_policy": (
                 "write-through" if rng.random() < 0.1 else "write-back"
             ),

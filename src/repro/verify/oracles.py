@@ -9,7 +9,14 @@ Each oracle is declared once and covers one bit-identity claim:
 - ``timed.compiled`` — compiled timed-execution templates vs the
   instruction-by-instruction interpreter (PR 3's engine);
 - ``lru.array`` — the timestamp-array LRU representation behind
-  :meth:`Cache.access_lines_batched` vs the ``OrderedDict`` list mode.
+  :meth:`Cache.access_lines_batched` vs the ``OrderedDict`` list mode;
+- ``timed.oddtile`` — the compiled engine on the formerly interpreted
+  tail (odd-tile lane padding, k-vectorized ``faddp`` folds) vs the
+  interpreter;
+- ``cachesim.writethrough`` — the batched store-propagation walk on
+  machines with write-through levels vs the scalar chain;
+- ``sweep.incremental`` — sweeps carrying warm hierarchy state across
+  adjacent points vs cold-start replays of every point.
 
 Result documents contain only JSON-able leaves. Float64 payloads (C
 tiles/panels) are compared bit-exactly: values are carried as exact
@@ -304,7 +311,8 @@ register(Oracle(
 # timed.compiled — template-compiled timed executor vs the interpreter
 # =============================================================================
 
-_COMPILED_VARIANTS = ("OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4")
+_COMPILED_VARIANTS = ("OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4",
+                      "OpenBLAS-8x6-noRR", "ATLAS-5x5", "ATLAS-5x5-kvec")
 _HW_LATE = (0.0, 0.25, 0.5, 1.0)
 
 
@@ -389,6 +397,190 @@ register(Oracle(
     reference=lambda p: _timed_run(p, "interpreted"),
     fast=lambda p: _timed_run(p, "compiled"),
     shrink=_timed_shrink,
+))
+
+
+# =============================================================================
+# timed.oddtile — the formerly interpreted tail on the compiled engine
+# =============================================================================
+
+_ODDTILE_VARIANTS = ("ATLAS-5x5", "ATLAS-5x5-kvec")
+
+
+def _oddtile_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    from repro.kernels.variants import get_variant
+
+    variant = rng.choice(_ODDTILE_VARIANTS)
+    unroll = get_variant(variant).plan.unroll
+    bodies = rng.randint(1, 4 if budget == "smoke" else 10)
+    return {
+        "variant": variant,
+        "kc": unroll * bodies,
+        "hw_late": rng.choice(_HW_LATE),
+        "chip": rng.choice(("xgene", "mobile")),
+        "data_seed": rng.randint(0, 2**31 - 1),
+        "with_c_tile": rng.random() < 0.5,
+    }
+
+
+def _oddtile_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    from repro.kernels.variants import get_variant
+
+    unroll = get_variant(params["variant"]).plan.unroll
+    bodies = params["kc"] // unroll
+    if bodies > 1:
+        yield {**params, "kc": unroll * max(1, bodies // 2)}
+        yield {**params, "kc": unroll * (bodies - 1)}
+    if params["hw_late"] != 0.0:
+        yield {**params, "hw_late": 0.0}
+    if params.get("with_c_tile"):
+        yield {**params, "with_c_tile": False}
+
+
+register(Oracle(
+    name="timed.oddtile",
+    suite="timed",
+    description=(
+        "odd-tile (lane-padded) and k-vectorized ATLAS kernels on the "
+        "compiled engine match the interpreter bit-exactly"
+    ),
+    generate=_oddtile_generate,
+    reference=lambda p: _timed_run(p, "interpreted"),
+    fast=lambda p: _timed_run(p, "compiled"),
+    shrink=_oddtile_shrink,
+))
+
+
+# =============================================================================
+# cachesim.writethrough — batched store-propagation walk vs the scalar chain
+# =============================================================================
+
+
+def _wt_force(machine: Dict[str, Any], mask: int) -> Dict[str, Any]:
+    """Force write-through on the levels selected by ``mask`` bits."""
+    out = dict(machine)
+    for bit, lvl in enumerate(("l1", "l2", "l3")):
+        if out.get(lvl) and mask & (1 << bit):
+            out[lvl] = dict(out[lvl], write_policy="write-through")
+    return out
+
+
+def _wt_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    params = _cachesim_generate(rng, budget)
+    # At least one write-through level, so every case exercises the
+    # batched propagation walk (random_machine alone makes them rare).
+    params["machine"] = _wt_force(
+        params["machine"], rng.randint(1, 7)
+    )
+    return params
+
+
+def _wt_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    for simpler in _cachesim_shrink(params):
+        machine = simpler["machine"]
+        if any(
+            machine.get(lvl, {}) and
+            machine[lvl].get("write_policy") == "write-through"
+            for lvl in ("l1", "l2", "l3")
+        ):
+            yield simpler
+
+
+register(Oracle(
+    name="cachesim.writethrough",
+    suite="cachesim",
+    description=(
+        "the batched engine's store-propagation walk on write-through "
+        "machines is bit-identical to the scalar propagation chain"
+    ),
+    generate=_wt_generate,
+    reference=lambda p: _cachesim_run(p, "scalar"),
+    fast=lambda p: _cachesim_run(p, "batched"),
+    shrink=_wt_shrink,
+))
+
+
+# =============================================================================
+# sweep.incremental — warm-state-carrying sweeps vs cold-start replays
+# =============================================================================
+
+_SWEEP_KERNELS = ("OpenBLAS-8x6", "OpenBLAS-4x4", "ATLAS-5x5")
+
+
+def _sweep_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    n_points = rng.randint(2, 3 if budget == "smoke" else 5)
+    mults = [rng.randint(1, 6) for _ in range(n_points)]
+    if rng.random() < 0.7:
+        mults.sort()  # ascending sweeps exercise the prefix-delta path
+    return {
+        "kernel": rng.choice(_SWEEP_KERNELS),
+        "kc": rng.choice((16, 32)),
+        "mc": rng.choice((16, 32)),
+        "nc_mults": mults,
+        "chip": rng.choice(("xgene", "mobile")),
+        "engine": rng.choice(("batched", "scalar")),
+        "seed": rng.randint(0, 2**31 - 1),
+        "prefetch": rng.random() < 0.8,
+    }
+
+
+def _sweep_run(params: Dict[str, Any], incremental: bool) -> Dict[str, Any]:
+    import dataclasses
+
+    from repro.kernels.variants import VARIANTS
+    from repro.sim.gebp_cachesim import clear_warm_memo, simulate_gebp_cache
+
+    spec = VARIANTS[params["kernel"]]
+    chip = CHIPS[params["chip"]]
+    clear_warm_memo()
+    try:
+        points = []
+        for mult in params["nc_mults"]:
+            nc = spec.nr * mult
+            blocking = CacheBlocking(
+                mr=spec.mr, nr=spec.nr, kc=params["kc"],
+                mc=params["mc"], nc=nc, k1=1, k2=1, k3=1,
+            )
+            result = simulate_gebp_cache(
+                spec, blocking, chip=chip, nc_slice=nc,
+                prefetch=params["prefetch"], engine=params["engine"],
+                seed=params["seed"], incremental=incremental,
+            )
+            points.append(dataclasses.asdict(result))
+        return {"points": points}
+    finally:
+        clear_warm_memo()
+
+
+def _sweep_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    if len(params["nc_mults"]) > 2:
+        yield {**params, "nc_mults": params["nc_mults"][:2]}
+        yield {**params, "nc_mults": params["nc_mults"][1:]}
+    if max(params["nc_mults"]) > 1:
+        yield {
+            **params,
+            "nc_mults": [max(1, m // 2) for m in params["nc_mults"]],
+        }
+    for key in ("kc", "mc"):
+        if params[key] > 16:
+            yield {**params, key: params[key] // 2}
+    if params["prefetch"]:
+        yield {**params, "prefetch": False}
+    if params["kernel"] != "OpenBLAS-4x4":
+        yield {**params, "kernel": "OpenBLAS-4x4"}
+
+
+register(Oracle(
+    name="sweep.incremental",
+    suite="cachesim",
+    description=(
+        "sweeps carrying warm hierarchy snapshots across adjacent points "
+        "report counters bit-identical to cold-start replays"
+    ),
+    generate=_sweep_generate,
+    reference=lambda p: _sweep_run(p, incremental=False),
+    fast=lambda p: _sweep_run(p, incremental=True),
+    shrink=_sweep_shrink,
 ))
 
 

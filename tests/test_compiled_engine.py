@@ -31,7 +31,7 @@ from repro.sim import (
 from repro.sim import timed_executor
 
 COMPILABLE = ["OpenBLAS-8x6", "OpenBLAS-8x4", "OpenBLAS-4x4",
-              "OpenBLAS-8x6-noRR"]
+              "OpenBLAS-8x6-noRR", "ATLAS-5x5", "ATLAS-5x5-kvec"]
 
 RNG = np.random.default_rng(42)
 
@@ -51,6 +51,25 @@ def assert_tile_identical(ri, rc):
     assert rc.cycles == ri.cycles and rc.efficiency == ri.efficiency
 
 
+def _noncompilable_kernel():
+    """A by-element kernel whose body smuggles a full-vector FMLA — the
+    compiled engine must refuse it with a reason."""
+    from dataclasses import replace
+
+    from repro.isa.instructions import FmlaVec
+    from repro.isa.program import Program
+    from repro.isa.registers import VReg
+
+    base = get_variant("OpenBLAS-4x4")
+    bad = Program(name="bad-body")
+    for instr in base.body:
+        bad.append(instr)
+    bad.append(
+        FmlaVec(acc=VReg(0), multiplicand=VReg(1), multiplier=VReg(2))
+    )
+    return replace(base, body=bad)
+
+
 class TestEngineSelection:
     def test_engines_exported(self):
         assert TIMED_ENGINES == ("auto", "compiled", "interpreted")
@@ -59,15 +78,20 @@ class TestEngineSelection:
     def test_paper_kernels_compile(self, name):
         assert compilability(get_variant(name)) is None
 
-    def test_atlas_odd_tile_not_compilable(self):
-        reason = compilability(get_variant("ATLAS-5x5"))
-        assert reason is not None and "tile" in reason
+    def test_atlas_variants_compile(self):
+        """Both ATLAS forms — the odd-tile by-element rendering (lane
+        padding) and the true k-vectorized kernel — now compile."""
+        assert compilability(get_variant("ATLAS-5x5")) is None
+        assert compilability(get_variant("ATLAS-5x5-kvec")) is None
 
-    def test_compiled_engine_rejects_atlas(self):
-        kernel = get_variant("ATLAS-5x5")
-        a = RNG.standard_normal((kernel.plan.unroll, 5))
+    def test_compiled_engine_rejects_noncompilable(self):
+        kernel = _noncompilable_kernel()
+        reason = compilability(kernel)
+        assert reason is not None and "full-vector" in reason
+        a = RNG.standard_normal((kernel.plan.unroll, kernel.spec.mr))
+        b = RNG.standard_normal((kernel.plan.unroll, kernel.spec.nr))
         with pytest.raises(SimulationError):
-            run_timed_micro_tile(kernel, a, a.copy(), engine="compiled")
+            run_timed_micro_tile(kernel, a, b, engine="compiled")
 
     def test_unknown_engine_rejected(self):
         kernel = get_variant("OpenBLAS-8x6")

@@ -168,7 +168,14 @@ class TestKernelSemantics:
                 c_tile=np.zeros((4, 4)),
             )
 
-    def test_odd_tile_rejected(self):
+    def test_odd_tile_executes_lane_padded(self):
+        """Odd tiles run in the lane-padded layout (they used to be
+        rejected outright)."""
         kernel = get_variant("ATLAS-5x5")
-        with pytest.raises(SimulationError):
-            execute_micro_tile(kernel, np.zeros((8, 5)), np.zeros((8, 5)))
+        kc = kernel.plan.unroll * 2
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((kc, 5))
+        b = rng.standard_normal((kc, 5))
+        c = rng.standard_normal((5, 5))
+        out = execute_micro_tile(kernel, a, b, c_tile=c.copy())
+        assert np.allclose(out, c + a.T @ b, atol=1e-11)

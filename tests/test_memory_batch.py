@@ -295,7 +295,9 @@ class TestRunBatch:
         )
         assert h_a.l1_stats() == h_b.l1_stats()
 
-    def test_write_through_levels_take_scalar_path(self):
+    def test_write_through_levels_stay_batched(self):
+        """Write-through hierarchies run the batched store-propagation
+        walk (they used to bail out to the scalar oracle wholesale)."""
         chip = small_chip()
         chip = dataclasses.replace(
             chip,
@@ -306,7 +308,23 @@ class TestRunBatch:
         self.compare(chip, self.generator_trace())
         h = MemoryHierarchy(chip)
         h.run_batch(0, BatchTrace.from_accesses(self.generator_trace()))
-        assert h.l1[0].batched_accesses == 0  # scalar fallback engaged
+        assert h.l1[0].batched_accesses > 0
+        assert h.batched_fallback_accesses() == 0
+
+    def test_write_through_chain_matches_scalar(self):
+        """Every level write-through: propagated stores chain to DRAM and
+        counters stay bit-identical to the scalar replay."""
+        chip = small_chip()
+        chip = dataclasses.replace(
+            chip,
+            l1d=dataclasses.replace(
+                chip.l1d, write_policy=WritePolicy.WRITE_THROUGH
+            ),
+            l2=dataclasses.replace(
+                chip.l2, write_policy=WritePolicy.WRITE_THROUGH
+            ),
+        )
+        self.compare(chip, self.generator_trace())
 
     def test_prefetch_target_out_of_range(self):
         chip = small_chip()

@@ -216,11 +216,18 @@ class TestPrefetcherLifecycle:
 
 
 class TestEngineSelection:
-    def test_auto_records_fallback_reason(self):
+    def test_auto_compiles_odd_tiles(self):
+        """The odd-tile ATLAS kernel compiles in the lane-padded layout
+        (it used to fall back with an "odd tile" reason)."""
         kernel = get_variant("ATLAS-5x5")
-        selected, reason = engine_selection(kernel, "auto")
+        assert engine_selection(kernel, "auto") == ("compiled", None)
+
+    def test_auto_records_fallback_reason(self):
+        from tests.test_compiled_engine import _noncompilable_kernel
+
+        selected, reason = engine_selection(_noncompilable_kernel(), "auto")
         assert selected == "interpreted"
-        assert "odd tile" in reason
+        assert "full-vector" in reason
 
     def test_auto_prefers_compiled(self):
         kernel = get_variant("OpenBLAS-8x6")
@@ -234,9 +241,10 @@ class TestEngineSelection:
         assert engine_selection(kernel, "compiled") == ("compiled", None)
 
     def test_compiled_on_noncompilable_raises(self):
-        kernel = get_variant("ATLAS-5x5")
-        with pytest.raises(Exception, match="odd tile"):
-            engine_selection(kernel, "compiled")
+        from tests.test_compiled_engine import _noncompilable_kernel
+
+        with pytest.raises(Exception, match="full-vector"):
+            engine_selection(_noncompilable_kernel(), "compiled")
 
     def test_unknown_engine_rejected(self):
         kernel = get_variant("OpenBLAS-8x6")

@@ -40,8 +40,9 @@ class TestRegistry:
     def test_standing_oracles(self):
         names = [o.name for o in all_oracles()]
         assert names == [
-            "gemm.pool", "cachesim.batch", "timed.compiled", "lru.array",
-            "serve.cache",
+            "gemm.pool", "cachesim.batch", "timed.compiled",
+            "timed.oddtile", "cachesim.writethrough", "sweep.incremental",
+            "lru.array", "serve.cache",
         ]
 
     def test_suites_cover_every_oracle(self):
