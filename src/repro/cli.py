@@ -777,6 +777,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if s.errors else 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run the two-stage kernel search with persistent memoization."""
+    from repro.gemm.pool import WorkerPool
+    from repro.serve import ResultStore
+    from repro.tune import tune_search
+
+    if args.smoke:
+        # CI budget: small tile pool, tight neighborhoods, fixed seed.
+        args.max_tiles = min(args.max_tiles, 3)
+        args.radius = min(args.radius, 1)
+        args.seed = 0
+    metrics = MetricsRegistry() if _wants_report(args) else None
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    pool = WorkerPool(args.pool) if args.pool > 1 else None
+    try:
+        t0 = time.perf_counter()
+        result = tune_search(
+            machine=args.machine,
+            threads=args.threads,
+            problem_size=args.problem_size,
+            max_tiles=args.max_tiles,
+            top_k=args.top_k,
+            radius=args.radius,
+            bodies=args.bodies,
+            seed=args.seed,
+            store=store,
+            pool=pool,
+            metrics=metrics,
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        if pool is not None:
+            pool.close()
+    win = result["winner"]
+    cand = win["candidate"]
+    space = result["space"]
+    memo = result["memo"]
+    hits = memo["analytic"]["hits"] + memo["timed"]["hits"]
+    misses = memo["analytic"]["misses"] + memo["timed"]["misses"]
+    print(f"tuned {result['machine']} in {elapsed:.3f}s: winner "
+          f"{cand['mr']}x{cand['nr']} ({cand['rotation']} rotation, "
+          f"{cand['schedule']} schedule) at "
+          f"{cand['kc']}x{cand['mc']}x{cand['nc']}")
+    print(f"  timed efficiency {win['timed']['efficiency']:.4f} "
+          f"(analytic {win['analytic']['efficiency']:.4f})")
+    print(f"  space: {space['enumerated']} candidates -> "
+          f"{space['analytic_classes']} analytic classes -> "
+          f"{space['timed_variants']} timed variants "
+          f"(prune {result['stats']['prune_ratio']:.1f}x)")
+    print(f"  memo: {hits} hits, {misses} computed"
+          + (f" ({args.cache_dir})" if args.cache_dir else " (no store)"))
+    _emit_report(
+        args, "tune",
+        params=dict(result["params"],
+                    cache_dir=args.cache_dir or None, pool=args.pool),
+        engines={
+            "analytic": {"selected": "gemm-sim", "fallback_reason": None},
+            "timed": {"selected": "compiled", "fallback_reason": None},
+        },
+        metrics=metrics,
+        stats={
+            "space": space,
+            "prune_ratio": result["stats"]["prune_ratio"],
+            "winner": win,
+            "top": result["top"],
+            "memo": memo,
+            "timing": {"elapsed_seconds": elapsed},
+        },
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render, validate, or diff structured run reports.
 
@@ -1040,6 +1112,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker-pool size for computing cache misses")
     add_json(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "tune",
+        help="search register tiles, rotation schemes, schedules and "
+             "blockings with the two-stage memoized autotuner",
+    )
+    p.add_argument("--machine", default="xgene",
+                   choices=["xgene", "mobile"],
+                   help="machine preset to tune for")
+    p.add_argument("--threads", type=int, default=1,
+                   help="thread count the blocking solver targets")
+    p.add_argument("--problem-size", type=int, default=2048,
+                   help="square DGEMM size the analytic stage prices")
+    p.add_argument("--max-tiles", type=int, default=4,
+                   help="top-gamma register tiles to enumerate")
+    p.add_argument("--top-k", type=int, default=12,
+                   help="analytic classes surviving into the timed stage")
+    p.add_argument("--radius", type=int, default=1,
+                   help="blocking-neighborhood radius per axis")
+    p.add_argument("--bodies", type=int, default=2,
+                   help="unrolled bodies per timed panel depth")
+    p.add_argument("--seed", type=int, default=0,
+                   help="enumeration-order and timed-operand seed")
+    p.add_argument("--pool", type=int, default=1,
+                   help="worker-pool size for cache-missing evaluations "
+                        "(1 = compute inline)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result-store directory for memoized evaluations "
+                        "('' disables persistence)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fixed-seed budget for CI")
+    add_json(p)
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "report",

@@ -337,6 +337,9 @@ def simulate_gebp_cache(
     cached = _WARM_MEMO.get(memo_key) if memo_key is not None else None
     n_warm = len(warm)
     if cached is not None and cached[0] <= n_warm:
+        # Refresh recency: dict order is the LRU order, so a hit moves
+        # the entry to the back and eviction below pops the front.
+        _WARM_MEMO[memo_key] = _WARM_MEMO.pop(memo_key)
         cached_rows, snap = cached
         h.restore(snap)  # snapshot taken post-reset: stats are zero
         if cached_rows < n_warm:
@@ -348,8 +351,15 @@ def simulate_gebp_cache(
         _replay(warm)
         h.reset_stats()
     if memo_key is not None and (cached is None or cached[0] != n_warm):
-        if len(_WARM_MEMO) >= _WARM_MEMO_LIMIT:
-            _WARM_MEMO.clear()
+        _WARM_MEMO.pop(memo_key, None)
+        while len(_WARM_MEMO) >= _WARM_MEMO_LIMIT:
+            # Evict the least-recently-used entry only, keeping the hot
+            # tail of the sweep intact (a wholesale clear() here used to
+            # nuke every carried snapshot the moment the 33rd distinct
+            # shape appeared).
+            _WARM_MEMO.pop(next(iter(_WARM_MEMO)))
+            if metrics is not None:
+                metrics.inc("cachesim.warm_evictions")
         _WARM_MEMO[memo_key] = (n_warm, h.snapshot())
 
     if span is not None:

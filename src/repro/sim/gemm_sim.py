@@ -105,7 +105,15 @@ class GemmSimulator:
 
     # -- kernel resolution -----------------------------------------------------
 
-    def _resolve(self, kernel: str) -> KernelSpec:
+    def _resolve(self, kernel) -> KernelSpec:
+        """Accept a registered variant name or a :class:`KernelSpec`.
+
+        Passing a spec directly lets search layers (:mod:`repro.tune`)
+        price arbitrary enumerated tiles without registering them in
+        :data:`~repro.kernels.variants.VARIANTS`.
+        """
+        if isinstance(kernel, KernelSpec):
+            return kernel
         try:
             return VARIANTS[kernel]
         except KeyError:
@@ -113,8 +121,12 @@ class GemmSimulator:
                 f"unknown kernel {kernel!r}; choose from {sorted(VARIANTS)}"
             ) from None
 
+    @staticmethod
+    def _label(kernel) -> str:
+        return kernel.name if isinstance(kernel, KernelSpec) else kernel
+
     def default_blocking(
-        self, kernel: str, threads: int
+        self, kernel, threads: int
     ) -> CacheBlocking:
         """The blocking each implementation would choose.
 
@@ -122,7 +134,7 @@ class GemmSimulator:
         ATLAS uses the half-cache heuristic its auto-tuner approximates.
         """
         spec = self._resolve(kernel)
-        if kernel.startswith("ATLAS"):
+        if self._label(kernel).startswith("ATLAS"):
             return goto_blocking(self.chip, spec.mr, spec.nr, threads=threads)
         return solve_cache_blocking(
             self.chip, spec.mr, spec.nr, threads=threads
@@ -223,7 +235,7 @@ class GemmSimulator:
 
     def simulate(
         self,
-        kernel: str,
+        kernel,
         m: int,
         n: int,
         k: int,
@@ -236,7 +248,9 @@ class GemmSimulator:
         """Predict one DGEMM execution.
 
         Args:
-            kernel: Variant name from :data:`repro.kernels.VARIANTS`.
+            kernel: Variant name from :data:`repro.kernels.VARIANTS`, or a
+                :class:`KernelSpec` for an unregistered candidate tile
+                (the performance record is labeled with ``spec.name``).
             m, n, k: Problem sizes.
             threads: Worker count (1..chip.cores).
             blocking: Override block sizes (Table VI's experiment).
@@ -254,6 +268,7 @@ class GemmSimulator:
         if parallel_axis not in ("m", "n"):
             raise SimulationError("parallel_axis must be 'm' or 'n'")
         spec = self._resolve(kernel)
+        label = self._label(kernel)
         blk = blocking or self.default_blocking(kernel, threads)
         if trace is None:
             trace = synthesize_trace(m, n, k, blk, threads, axis=parallel_axis)
@@ -263,11 +278,11 @@ class GemmSimulator:
             metrics.observe("gemm_sim.gebp_events", len(trace.gebps))
             with metrics.span("gemm_sim.simulate"):
                 return self._simulate_priced(
-                    kernel, m, n, k, threads, blk, trace, spec, prefetch,
+                    label, m, n, k, threads, blk, trace, spec, prefetch,
                     parallel_axis,
                 )
         return self._simulate_priced(
-            kernel, m, n, k, threads, blk, trace, spec, prefetch,
+            label, m, n, k, threads, blk, trace, spec, prefetch,
             parallel_axis,
         )
 

@@ -1,0 +1,185 @@
+"""Enumeration of the kernel-synthesis search space.
+
+A search point — a :class:`Candidate` — fixes everything the code
+generator and the blocking need to build one GEBP configuration:
+
+- the register tile ``(mr, nr)``, drawn from the eq. (8)-(11)
+  feasibility enumeration and filtered to tiles the code generator can
+  realize (``KernelSpec.fits_register_file``);
+- the register-rotation scheme (``solved`` exhaustive optimum, the
+  paper's Table I ``paper`` cycle, the naive ``ring`` cycle, or the
+  un-rotated ``static`` layout);
+- the issue-schedule strategy (``earliest``, the eq. (13) optimum, or
+  ``latest``, the unscheduled ablation);
+- the cache blocking ``(kc, mc, nc)`` from a neighborhood around the
+  analytic :func:`~repro.blocking.cache_blocking.solve_cache_blocking`
+  solution, with the solver's ways-reservation ``(k1, k2, k3)``.
+
+Enumeration is exhaustive over the gated cross product, deduplicated,
+and deterministic: candidates are generated in a canonical order and
+then shuffled by the fixed ``seed``, so the same seed always yields the
+same sequence (exercised by ``tests/test_tune.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.blocking.autotune import candidate_tiles, neighborhood
+from repro.blocking.cache_blocking import CacheBlocking, solve_cache_blocking
+from repro.errors import BlockingError
+from repro.kernels.kernel_spec import KernelSpec
+from repro.serve.query import resolve_machine
+
+__all__ = [
+    "ROTATIONS",
+    "SCHEDULES",
+    "Candidate",
+    "enumerate_candidates",
+]
+
+#: Register-rotation schemes the enumerator knows how to realize.
+ROTATIONS = ("solved", "paper", "ring", "static")
+
+#: Issue-schedule strategies of :func:`repro.kernels.scheduling.schedule_body`.
+SCHEDULES = ("earliest", "latest")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully-specified point of the search space."""
+
+    mr: int
+    nr: int
+    rotation: str
+    schedule: str
+    kc: int
+    mc: int
+    nc: int
+    k1: int
+    k2: int
+    k3: int
+
+    @property
+    def rotated(self) -> bool:
+        return self.rotation != "static"
+
+    def spec(self) -> KernelSpec:
+        """The kernel shape this candidate generates code for."""
+        return KernelSpec(self.mr, self.nr, rotated=self.rotated)
+
+    def blocking(self) -> CacheBlocking:
+        """The cache blocking this candidate runs under."""
+        return CacheBlocking(
+            mr=self.mr, nr=self.nr, kc=self.kc, mc=self.mc, nc=self.nc,
+            k1=self.k1, k2=self.k2, k3=self.k3,
+        )
+
+    def doc(self) -> Dict[str, Any]:
+        """Plain-JSON description (stable field order via sorted dumps)."""
+        return {
+            "mr": self.mr, "nr": self.nr,
+            "rotation": self.rotation, "schedule": self.schedule,
+            "kc": self.kc, "mc": self.mc, "nc": self.nc,
+            "k1": self.k1, "k2": self.k2, "k3": self.k3,
+        }
+
+    # -- memoization class keys ---------------------------------------------
+
+    def analytic_class(self) -> Tuple[Any, ...]:
+        """Candidates sharing this tuple have identical analytic scores.
+
+        The Sec. III/IV cost model sees the tile shape, whether the
+        kernel rotates (the prefetch-hide class), and the blocking — but
+        not the concrete rotation cycle or issue schedule.
+        """
+        return (self.mr, self.nr, self.rotated,
+                self.kc, self.mc, self.nc, self.k1, self.k2, self.k3)
+
+    def timed_class(self) -> Tuple[Any, ...]:
+        """Candidates sharing this tuple have identical timed runs.
+
+        The compiled timed engine executes the generated kernel on
+        packed panels whose depth the evaluator fixes independently of
+        the candidate's ``kc``, so only the code-shape fields matter.
+        """
+        return (self.mr, self.nr, self.rotation, self.schedule)
+
+
+def _rotations_for(spec: KernelSpec, rotations: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for rotation in rotations:
+        if rotation not in ROTATIONS:
+            raise BlockingError(
+                f"unknown rotation scheme {rotation!r}; "
+                f"choose from {list(ROTATIONS)}"
+            )
+        if rotation == "paper" and spec.rotation_pool != 8:
+            continue  # the Table I cycle only exists for the 8-slot pool
+        if rotation == "solved" and spec.rotation_pool > 8:
+            continue  # exhaustive (pool-1)! search is gated to tractable pools
+        out.append(rotation)
+    return out
+
+
+def enumerate_candidates(
+    machine: Any = "xgene",
+    threads: int = 1,
+    max_tiles: int = 4,
+    rotations: Sequence[str] = ROTATIONS,
+    schedules: Sequence[str] = SCHEDULES,
+    radius: int = 1,
+    seed: int = 0,
+) -> List[Candidate]:
+    """Enumerate the gated search space for ``machine``.
+
+    Args:
+        machine: Preset name (``"xgene"``, ``"mobile"``) or a machine
+            document in the :mod:`repro.verify.machines` schema.
+        threads: Thread count the blocking solver targets.
+        max_tiles: How many top-gamma register tiles to explore.
+        rotations: Rotation schemes to include (subset of
+            :data:`ROTATIONS`); infeasible scheme/tile pairs are gated
+            out per tile.
+        schedules: Issue-schedule strategies (subset of
+            :data:`SCHEDULES`).
+        radius: Blocking-neighborhood radius in solver steps per axis.
+        seed: Shuffle seed; the same seed always yields the same order.
+
+    Returns:
+        Deduplicated candidate list, deterministically ordered.
+    """
+    for schedule in schedules:
+        if schedule not in SCHEDULES:
+            raise BlockingError(
+                f"unknown schedule strategy {schedule!r}; "
+                f"choose from {list(SCHEDULES)}"
+            )
+    _, chip = resolve_machine(machine)
+    seen: Set[Candidate] = set()
+    out: List[Candidate] = []
+    for mr, nr in candidate_tiles(chip, max_tiles, require_codegen=True):
+        try:
+            base = solve_cache_blocking(chip, mr, nr, threads=threads)
+        except BlockingError:
+            continue
+        schemes = _rotations_for(KernelSpec(mr, nr, rotated=True), rotations)
+        for kc in neighborhood(base.kc, 128, 64, radius):
+            for mc in neighborhood(base.mc, 2 * mr, mr, radius):
+                for nc in neighborhood(base.nc, 16 * nr, nr, radius):
+                    for rotation in schemes:
+                        for schedule in schedules:
+                            cand = Candidate(
+                                mr=mr, nr=nr,
+                                rotation=rotation, schedule=schedule,
+                                kc=kc, mc=mc, nc=nc,
+                                k1=base.k1, k2=base.k2, k3=base.k3,
+                            )
+                            if cand not in seen:
+                                seen.add(cand)
+                                out.append(cand)
+    rng = random.Random(seed)
+    rng.shuffle(out)
+    return out

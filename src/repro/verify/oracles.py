@@ -809,3 +809,120 @@ register(Oracle(
     fast=_serve_fast,
     shrink=_serve_shrink,
 ))
+
+
+# =============================================================================
+# tune.memo — memoized tuning replays vs cold evaluation
+# =============================================================================
+
+
+def _tune_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    max_tiles = rng.randint(1, 2 if budget == "smoke" else 3)
+    return {
+        "machine": rng.choice(("xgene", "mobile")),
+        "max_tiles": max_tiles,
+        "top_k": rng.randint(1, 3),
+        "radius": rng.randint(0, 1),
+        "bodies": rng.randint(1, 2),
+        "problem_size": 256 if budget == "smoke" else rng.choice((256, 512)),
+        "seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _tune_result(params: Dict[str, Any], store: Any) -> Dict[str, Any]:
+    from repro.tune import tune_search
+
+    result = tune_search(
+        machine=params["machine"],
+        max_tiles=params["max_tiles"],
+        top_k=params["top_k"],
+        radius=params["radius"],
+        bodies=params["bodies"],
+        problem_size=params["problem_size"],
+        seed=params["seed"],
+        store=store,
+    )
+    # The memo section counts hits/misses, which legitimately differ
+    # between a cold and a replayed run; everything else must not.
+    result.pop("memo")
+    return result
+
+
+def _tune_reference(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cold evaluation: no store, every candidate scored from scratch."""
+    return _tune_result(params, store=None)
+
+
+def _tune_fast(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Memoized replay: search once into a store, then search again.
+
+    The second pass must answer every evaluation from the persisted
+    entries and reproduce the cold result document bit-identically.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.store import ResultStore
+    from repro.tune import tune_search
+    from repro.verify.oracle import VerifyError
+
+    tmp = tempfile.mkdtemp(prefix="tune-oracle-")
+    try:
+        store = ResultStore(tmp)
+        kwargs = dict(
+            machine=params["machine"],
+            max_tiles=params["max_tiles"],
+            top_k=params["top_k"],
+            radius=params["radius"],
+            bodies=params["bodies"],
+            problem_size=params["problem_size"],
+            seed=params["seed"],
+            store=store,
+        )
+        cold = tune_search(**kwargs)
+        for stage in ("analytic", "timed"):
+            if cold["memo"][stage]["hits"]:
+                raise VerifyError(
+                    f"cold pass had {stage} memo hits "
+                    f"{cold['memo'][stage]}"
+                )
+        warm = tune_search(**kwargs)
+        for stage in ("analytic", "timed"):
+            if warm["memo"][stage]["misses"]:
+                raise VerifyError(
+                    f"warm pass recomputed {stage} evaluations "
+                    f"{warm['memo'][stage]}"
+                )
+        warm.pop("memo")
+        return warm
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _tune_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    if params["max_tiles"] > 1:
+        yield {**params, "max_tiles": params["max_tiles"] - 1}
+    if params["top_k"] > 1:
+        yield {**params, "top_k": 1}
+    if params["radius"] > 0:
+        yield {**params, "radius": 0}
+    if params["bodies"] > 1:
+        yield {**params, "bodies": 1}
+    if params["problem_size"] > 256:
+        yield {**params, "problem_size": 256}
+    if params["seed"] > 0:
+        yield {**params, "seed": 0}
+
+
+register(Oracle(
+    name="tune.memo",
+    suite="tune",
+    description=(
+        "memoized-replayed tuning results are bit-identical to "
+        "cold-evaluated ones (winner, ranking and scores)"
+    ),
+    generate=_tune_generate,
+    reference=_tune_reference,
+    fast=_tune_fast,
+    shrink=_tune_shrink,
+))

@@ -83,6 +83,30 @@ class TestCli:
         assert exc.value.code == 0
 
 
+class TestTuneCommand:
+    def test_smoke_rediscovers_8x6_and_warm_run_hits(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        cache = str(tmp_path / "cache")
+        report = tmp_path / "tune.json"
+        assert main([
+            "tune", "--smoke", "--cache-dir", cache,
+            "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "winner 8x6" in out
+        assert "512x56x1920" in out
+        doc = json.loads(report.read_text())
+        winner = doc["stats"]["winner"]["candidate"]
+        assert (winner["mr"], winner["nr"], winner["kc"]) == (8, 6, 512)
+        assert doc["stats"]["prune_ratio"] >= 5.0
+        # Second run over the same cache computes nothing.
+        assert main(["tune", "--smoke", "--cache-dir", cache]) == 0
+        assert ", 0 computed" in capsys.readouterr().out
+
+
 class TestExperimentsCommand:
     def test_writes_all_exhibits(self, tmp_path, capsys):
         out = tmp_path / "results"

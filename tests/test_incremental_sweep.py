@@ -189,6 +189,48 @@ class TestIncrementalSweep:
         assert point(4 * spec.nr, False) == big
 
 
+class TestWarmMemoEviction:
+    def test_hot_entries_survive_a_long_sweep(self):
+        """LRU eviction: a >32-shape sweep must evict cold entries one
+        at a time, never the recently-touched hot entry (the old
+        wholesale clear() nuked every snapshot at the 33rd shape)."""
+        from repro.obs import MetricsRegistry
+        from repro.sim import gebp_cachesim as gc
+
+        spec = VARIANTS["OpenBLAS-4x4"]
+        blk = CacheBlocking(
+            mr=spec.mr, nr=spec.nr, kc=32, mc=16, nc=spec.nr,
+            k1=1, k2=1, k3=1,
+        )
+
+        def point(seed, metrics=None):
+            return dataclasses.astuple(simulate_gebp_cache(
+                spec, blk, chip=XGENE, nc_slice=spec.nr,
+                engine="batched", seed=seed, metrics=metrics,
+            ))
+
+        clear_warm_memo()
+        try:
+            hot = point(0)
+            hot_key = next(iter(gc._WARM_MEMO))
+            metrics = MetricsRegistry()
+            distinct = gc._WARM_MEMO_LIMIT + 8
+            for seed in range(1, distinct + 1):
+                point(seed, metrics=metrics)  # install a cold shape
+                point(0, metrics=metrics)     # keep the hot one recent
+            counters = metrics.as_dict()["counters"]
+            # The hot entry survived every eviction round and was
+            # restored (not recomputed) on every touch.
+            assert hot_key in gc._WARM_MEMO
+            assert counters["cachesim.warm_restores"] >= distinct
+            assert counters["cachesim.warm_evictions"] >= 8
+            assert len(gc._WARM_MEMO) <= gc._WARM_MEMO_LIMIT
+            # And restoring it still reproduces the cold-start result.
+            assert point(0) == hot
+        finally:
+            clear_warm_memo()
+
+
 class TestTimedWarmMemo:
     def test_memo_restored_run_matches_cold(self):
         """The micro-tile L2 warm-up memo: a second identical call
