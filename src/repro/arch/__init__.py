@@ -3,17 +3,29 @@
 from repro.arch.params import (
     CacheParams,
     ChipParams,
+    CoreClusterParams,
     CoreParams,
     DramParams,
     ReplacementPolicy,
     TlbParams,
     WritePolicy,
 )
-from repro.arch.presets import KB, MB, MOBILE_SOC, XGENE, single_core
+from repro.arch.presets import (
+    BIG_LITTLE,
+    KB,
+    MB,
+    MOBILE_SOC,
+    PRESETS,
+    XGENE,
+    get_preset,
+    preset_names,
+    single_core,
+)
 
 __all__ = [
     "CacheParams",
     "ChipParams",
+    "CoreClusterParams",
     "CoreParams",
     "DramParams",
     "ReplacementPolicy",
@@ -21,6 +33,10 @@ __all__ = [
     "WritePolicy",
     "XGENE",
     "MOBILE_SOC",
+    "BIG_LITTLE",
+    "PRESETS",
+    "get_preset",
+    "preset_names",
     "KB",
     "MB",
     "single_core",

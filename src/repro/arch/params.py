@@ -14,7 +14,7 @@ block-size engine architecture-agnostic.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import ArchitectureError
@@ -48,6 +48,9 @@ class CacheParams:
         replacement: Replacement policy.
         write_policy: Write policy (the paper's caches are write-back).
         shared_by: Number of cores that share one instance of this cache.
+        miss_energy_pj: Energy in picojoules charged per miss at this level
+            (the cost of filling one line from the level below). Feeds the
+            simple energy model on timed/simulated results.
     """
 
     name: str
@@ -58,6 +61,7 @@ class CacheParams:
     replacement: ReplacementPolicy = ReplacementPolicy.LRU
     write_policy: WritePolicy = WritePolicy.WRITE_BACK
     shared_by: int = 1
+    miss_energy_pj: float = 200.0
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
@@ -73,6 +77,10 @@ class CacheParams:
             raise ArchitectureError(f"{self.name}: negative latency")
         if self.shared_by < 1:
             raise ArchitectureError(f"{self.name}: shared_by must be >= 1")
+        if self.miss_energy_pj < 0:
+            raise ArchitectureError(
+                f"{self.name}: miss_energy_pj must be non-negative"
+            )
 
     @property
     def num_sets(self) -> int:
@@ -117,6 +125,12 @@ class CoreParams:
             x86, motivating software register rotation.
         frequency_hz: Core clock (X-Gene: 2.4 GHz).
         flops_per_fma: FLOPs counted per scalar FMA lane (mul+add = 2).
+        fma_energy_pj: Energy per vector FMA instruction, in picojoules.
+        load_energy_pj: Energy per L1 load access, in picojoules.
+        idle_energy_pj: Energy per cycle a core spends waiting (load
+            imbalance, barriers), in picojoules. Big out-of-order cores
+            burn more static power per idle cycle than LITTLE in-order
+            ones, which is what makes the energy frontier interesting.
     """
 
     issue_width: int = 4
@@ -130,6 +144,9 @@ class CoreParams:
     rename_registers: int = 8
     frequency_hz: float = 2.4e9
     flops_per_fma: int = 2
+    fma_energy_pj: float = 40.0
+    load_energy_pj: float = 20.0
+    idle_energy_pj: float = 100.0
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -146,6 +163,9 @@ class CoreParams:
             )
         if self.frequency_hz <= 0:
             raise ArchitectureError("frequency must be positive")
+        if min(self.fma_energy_pj, self.load_energy_pj,
+               self.idle_energy_pj) < 0:
+            raise ArchitectureError("per-event energies must be non-negative")
 
     @property
     def doubles_per_register(self) -> int:
@@ -213,6 +233,60 @@ class TlbParams:
 
 
 @dataclass(frozen=True)
+class CoreClusterParams:
+    """One homogeneous core class inside a (possibly asymmetric) chip.
+
+    A cluster bundles a core description with the cache geometry that is
+    private to the class: per-core L1D and the per-module L2 its modules
+    share. A symmetric chip is the trivial special case of one cluster
+    covering every core; a big.LITTLE chip declares one cluster per class.
+
+    Attributes:
+        name: Class name ("big", "LITTLE", ...).
+        cores: Number of cores in this class.
+        cores_per_module: Cores per L2-sharing module within the class.
+        core: Core resources of this class.
+        l1d: Per-core L1 data cache of this class.
+        l2: Per-module L2 cache of this class.
+    """
+
+    name: str
+    cores: int
+    cores_per_module: int
+    core: CoreParams
+    l1d: CacheParams
+    l2: CacheParams
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ArchitectureError(f"cluster {self.name}: needs >= 1 core")
+        if self.cores_per_module < 1 or self.cores % self.cores_per_module:
+            raise ArchitectureError(
+                f"cluster {self.name}: {self.cores} cores do not divide "
+                f"into modules of {self.cores_per_module}"
+            )
+        if self.l1d.shared_by != 1:
+            raise ArchitectureError(
+                f"cluster {self.name}: L1D must be private to a core"
+            )
+        if self.l2.shared_by != self.cores_per_module:
+            raise ArchitectureError(
+                f"cluster {self.name}: L2 shared_by must equal "
+                "cores_per_module"
+            )
+
+    @property
+    def modules(self) -> int:
+        """Number of L2-sharing modules in this class."""
+        return self.cores // self.cores_per_module
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of the whole class."""
+        return self.core.peak_flops * self.cores
+
+
+@dataclass(frozen=True)
 class ChipParams:
     """A whole multi-core chip.
 
@@ -226,6 +300,12 @@ class ChipParams:
         l3: Chip-wide L3 cache (``None`` for two-level hierarchies).
         dram: Main-memory timing.
         tlb: Optional TLB description.
+        clusters: Optional core classes for asymmetric (big.LITTLE) chips.
+            Empty means the chip is symmetric and fully described by the
+            flat fields above — the historical form, unchanged. When set,
+            the flat ``core``/``l1d``/``l2``/``cores_per_module`` fields
+            must mirror the first (fastest) cluster so that every existing
+            symmetric consumer keeps working against the lead class.
     """
 
     name: str
@@ -237,11 +317,27 @@ class ChipParams:
     l3: Optional[CacheParams]
     dram: DramParams = field(default_factory=DramParams)
     tlb: Optional[TlbParams] = None
+    clusters: Tuple[CoreClusterParams, ...] = ()
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ArchitectureError("chip needs at least one core")
-        if self.cores_per_module < 1 or self.cores % self.cores_per_module:
+        if self.clusters:
+            total = sum(c.cores for c in self.clusters)
+            if total != self.cores:
+                raise ArchitectureError(
+                    f"cluster cores sum to {total}, chip declares "
+                    f"{self.cores}"
+                )
+            lead = self.clusters[0]
+            if (self.core != lead.core or self.l1d != lead.l1d
+                    or self.l2 != lead.l2
+                    or self.cores_per_module != lead.cores_per_module):
+                raise ArchitectureError(
+                    "flat core/l1d/l2/cores_per_module fields must mirror "
+                    "the first cluster"
+                )
+        elif self.cores_per_module < 1 or self.cores % self.cores_per_module:
             raise ArchitectureError(
                 f"{self.cores} cores do not divide into modules of "
                 f"{self.cores_per_module}"
@@ -256,8 +352,78 @@ class ChipParams:
             raise ArchitectureError("L3 must be shared by all cores")
 
     @property
+    def is_asymmetric(self) -> bool:
+        """Whether the chip declares more than one core class."""
+        return len(self.clusters) > 1
+
+    @property
+    def core_clusters(self) -> Tuple[CoreClusterParams, ...]:
+        """The core classes; a symmetric chip synthesizes a single one."""
+        if self.clusters:
+            return self.clusters
+        return (
+            CoreClusterParams(
+                name="all",
+                cores=self.cores,
+                cores_per_module=self.cores_per_module,
+                core=self.core,
+                l1d=self.l1d,
+                l2=self.l2,
+            ),
+        )
+
+    def thread_clusters(self, threads: int) -> Tuple[int, ...]:
+        """Cluster index for each of ``threads`` logical threads.
+
+        Threads fill the clusters in declaration order (fastest class
+        first), one thread per core, matching how an asymmetry-aware
+        runtime would pin them.
+        """
+        if not 1 <= threads <= self.cores:
+            raise ArchitectureError(
+                f"thread count {threads} out of range 1..{self.cores}"
+            )
+        mapping = []
+        for index, cluster in enumerate(self.core_clusters):
+            take = min(cluster.cores, threads - len(mapping))
+            mapping.extend([index] * take)
+            if len(mapping) == threads:
+                break
+        return tuple(mapping)
+
+    def cluster_view(self, index: int) -> "ChipParams":
+        """A symmetric chip describing only cluster ``index``.
+
+        The shared L3 (if any) is re-declared as shared by just this
+        cluster's cores so the view passes the symmetric invariants; the
+        analytic machinery can then price one class in isolation.
+        """
+        clusters = self.core_clusters
+        if not 0 <= index < len(clusters):
+            raise ArchitectureError(
+                f"cluster index {index} out of range 0..{len(clusters) - 1}"
+            )
+        cluster = clusters[index]
+        l3 = None
+        if self.l3 is not None:
+            l3 = replace(self.l3, shared_by=cluster.cores)
+        return ChipParams(
+            name=f"{self.name}:{cluster.name}",
+            cores=cluster.cores,
+            cores_per_module=cluster.cores_per_module,
+            core=cluster.core,
+            l1d=cluster.l1d,
+            l2=cluster.l2,
+            l3=l3,
+            dram=self.dram,
+            tlb=self.tlb,
+        )
+
+    @property
     def modules(self) -> int:
         """Number of dual-core (in general, multi-core) modules."""
+        if self.clusters:
+            return sum(c.modules for c in self.clusters)
         return self.cores // self.cores_per_module
 
     @property
@@ -271,12 +437,25 @@ class ChipParams:
     @property
     def peak_flops(self) -> float:
         """Peak double-precision FLOP/s of the whole chip."""
+        if self.clusters:
+            return sum(c.peak_flops for c in self.clusters)
         return self.core.peak_flops * self.cores
 
     def peak_flops_for(self, threads: int) -> float:
-        """Peak double-precision FLOP/s for ``threads`` single-thread cores."""
+        """Peak double-precision FLOP/s for ``threads`` single-thread cores.
+
+        On an asymmetric chip threads occupy the fastest class first (the
+        same placement as :meth:`thread_clusters`), so the peak is the sum
+        of the occupied cores' individual peaks.
+        """
         if not 1 <= threads <= self.cores:
             raise ArchitectureError(
                 f"thread count {threads} out of range 1..{self.cores}"
+            )
+        if self.clusters:
+            clusters = self.core_clusters
+            return sum(
+                clusters[index].core.peak_flops
+                for index in self.thread_clusters(threads)
             )
         return self.core.peak_flops * threads

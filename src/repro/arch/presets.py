@@ -11,14 +11,19 @@ on.
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Tuple
+
 from repro.arch.params import (
     CacheParams,
     ChipParams,
+    CoreClusterParams,
     CoreParams,
     DramParams,
     ReplacementPolicy,
     TlbParams,
 )
+from repro.errors import ArchitectureError
 
 KB = 1024
 MB = 1024 * 1024
@@ -106,7 +111,120 @@ MOBILE_SOC = ChipParams(
     dram=DramParams(
         latency_cycles=150, bandwidth_bytes_per_cycle=8.0, bridges=1
     ),
+    # No TLB on purpose: the mobile preset exercises the "TLB not
+    # modeled" path end to end (timed runs skip TLB effects and
+    # RunReports surface ``tlb_modeled: false``). Adding one here would
+    # change every committed mobile baseline, so the omission is part of
+    # the preset's contract.
 )
+
+
+_BIG_CLUSTER = CoreClusterParams(
+    name="big",
+    cores=2,
+    cores_per_module=2,
+    core=CoreParams(
+        issue_width=4,
+        fma_pipes=1,
+        load_ports=1,
+        fma_latency=5,
+        fma_throughput_cycles=2,
+        load_latency=4,
+        fp_registers=32,
+        fp_register_bytes=16,
+        rename_registers=8,
+        frequency_hz=2.4e9,
+        fma_energy_pj=45.0,
+        load_energy_pj=25.0,
+        idle_energy_pj=150.0,
+    ),
+    l1d=CacheParams(
+        name="L1D", size_bytes=32 * KB, line_bytes=64, ways=4,
+        latency_cycles=4, shared_by=1, miss_energy_pj=50.0,
+    ),
+    l2=CacheParams(
+        name="L2", size_bytes=1 * MB, line_bytes=64, ways=16,
+        latency_cycles=14, shared_by=2, miss_energy_pj=300.0,
+    ),
+)
+
+_LITTLE_CLUSTER = CoreClusterParams(
+    name="LITTLE",
+    cores=4,
+    cores_per_module=2,
+    core=CoreParams(
+        issue_width=2,
+        fma_pipes=1,
+        load_ports=1,
+        fma_latency=4,
+        fma_throughput_cycles=2,
+        load_latency=3,
+        fp_registers=32,
+        fp_register_bytes=16,
+        rename_registers=4,
+        frequency_hz=1.3e9,
+        fma_energy_pj=15.0,
+        load_energy_pj=8.0,
+        idle_energy_pj=40.0,
+    ),
+    l1d=CacheParams(
+        name="L1D", size_bytes=16 * KB, line_bytes=64, ways=4,
+        latency_cycles=3, shared_by=1, miss_energy_pj=30.0,
+    ),
+    l2=CacheParams(
+        name="L2", size_bytes=256 * KB, line_bytes=64, ways=16,
+        latency_cycles=10, shared_by=2, miss_energy_pj=250.0,
+    ),
+)
+
+#: An asymmetric big.LITTLE chip in the style of the Catalán et al.
+#: platforms: two out-of-order big cores (X-Gene-class, 2.4 GHz) plus
+#: four in-order LITTLE cores (1.3 GHz), each class with its own L1/L2
+#: geometry, all six cores sharing a 4 MB L3. The flat fields mirror the
+#: big cluster so symmetric consumers see the lead class.
+BIG_LITTLE = ChipParams(
+    name="armv8-biglittle-2p4e",
+    cores=6,
+    cores_per_module=2,
+    core=_BIG_CLUSTER.core,
+    l1d=_BIG_CLUSTER.l1d,
+    l2=_BIG_CLUSTER.l2,
+    l3=CacheParams(
+        name="L3", size_bytes=4 * MB, line_bytes=64, ways=16,
+        latency_cycles=38, shared_by=6, miss_energy_pj=2000.0,
+    ),
+    dram=DramParams(
+        latency_cycles=160, bandwidth_bytes_per_cycle=12.0, bridges=1
+    ),
+    tlb=TlbParams(entries=512, page_bytes=4096, miss_penalty_cycles=30),
+    clusters=(_BIG_CLUSTER, _LITTLE_CLUSTER),
+)
+
+
+#: Registry of named machine presets. Every layer that accepts a preset
+#: name (CLI choices, serve queries, tune search, verify oracles) derives
+#: its list from here, so a new preset appears everywhere at once.
+PRESETS = {
+    "xgene": XGENE,
+    "mobile": MOBILE_SOC,
+    "big_little": BIG_LITTLE,
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    """The registered preset names, in registration order."""
+    return tuple(PRESETS)
+
+
+def get_preset(name: str) -> ChipParams:
+    """Look up a preset chip by name, raising on unknown names."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown machine preset {name!r}; "
+            f"known: {', '.join(PRESETS)}"
+        ) from None
 
 
 def single_core(chip: ChipParams = XGENE) -> ChipParams:
@@ -114,7 +232,9 @@ def single_core(chip: ChipParams = XGENE) -> ChipParams:
 
     Useful for serial experiments: the L2 and L3 keep their sizes but are
     private, matching the paper's serial setting where one thread owns the
-    whole hierarchy.
+    whole hierarchy. Uses :func:`dataclasses.replace` so every cache field
+    — including ones added after this helper was written — survives the
+    copy; an asymmetric chip collapses to one core of its lead cluster.
     """
     return ChipParams(
         name=f"{chip.name}-1core",
@@ -122,28 +242,8 @@ def single_core(chip: ChipParams = XGENE) -> ChipParams:
         cores_per_module=1,
         core=chip.core,
         l1d=chip.l1d,
-        l2=CacheParams(
-            name=chip.l2.name,
-            size_bytes=chip.l2.size_bytes,
-            line_bytes=chip.l2.line_bytes,
-            ways=chip.l2.ways,
-            latency_cycles=chip.l2.latency_cycles,
-            replacement=chip.l2.replacement,
-            write_policy=chip.l2.write_policy,
-            shared_by=1,
-        ),
-        l3=None
-        if chip.l3 is None
-        else CacheParams(
-            name=chip.l3.name,
-            size_bytes=chip.l3.size_bytes,
-            line_bytes=chip.l3.line_bytes,
-            ways=chip.l3.ways,
-            latency_cycles=chip.l3.latency_cycles,
-            replacement=chip.l3.replacement,
-            write_policy=chip.l3.write_policy,
-            shared_by=1,
-        ),
+        l2=replace(chip.l2, shared_by=1),
+        l3=None if chip.l3 is None else replace(chip.l3, shared_by=1),
         dram=chip.dram,
         tlb=chip.tlb,
     )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.arch.params import CacheParams, ChipParams
 from repro.errors import BlockingError
@@ -202,6 +202,71 @@ def solve_cache_blocking(
     return CacheBlocking(
         mr=mr, nr=nr, kc=kc, mc=mc, nc=nc, k1=k1, k2=k2, k3=k3
     )
+
+
+def solve_class_blockings(
+    chip: ChipParams,
+    mr: int,
+    nr: int,
+    threads: Optional[int] = None,
+    element_size: int = 8,
+    kc_override: Optional[int] = None,
+) -> Dict[str, CacheBlocking]:
+    """Per-core-class (kc, mc, nc) on a possibly asymmetric chip.
+
+    Each class solves eqs. (15)/(17)/(19) against its *own* L1/L2
+    geometry — a LITTLE cluster with a 16 KB L1 gets a smaller kc than
+    its big sibling — while eq. (20) for nc charges the shared L3 with
+    one A block per active thread chip-wide, whatever class it runs on.
+
+    Args:
+        chip: Architecture description (symmetric chips yield one entry
+            named after their single synthesized class, ``"all"``).
+        mr, nr: Register tile.
+        threads: Active threads chip-wide; defaults to ``chip.cores``.
+            Threads occupy clusters in declaration order (the placement
+            of :meth:`~repro.arch.params.ChipParams.thread_clusters`);
+            classes left empty are omitted from the result.
+        element_size: Bytes per matrix element.
+        kc_override: Force every class's kc (paper-reproduction knob).
+
+    Returns:
+        Mapping of cluster name to its :class:`CacheBlocking`.
+    """
+    total = chip.cores if threads is None else threads
+    if not 1 <= total <= chip.cores:
+        raise BlockingError(
+            f"threads {total} out of range 1..{chip.cores}"
+        )
+    placement = chip.thread_clusters(total)
+    per_cluster = {
+        index: placement.count(index) for index in set(placement)
+    }
+    out: Dict[str, CacheBlocking] = {}
+    for index, cluster in enumerate(chip.core_clusters):
+        t_c = per_cluster.get(index, 0)
+        if t_c == 0:
+            continue
+        line_elements = cluster.l1d.line_bytes // element_size
+        kc, k1 = solve_kc(cluster.l1d, mr, nr, element_size)
+        if kc_override is not None:
+            kc = kc_override
+        l2_sharers = max(1, math.ceil(t_c / cluster.modules))
+        mc, k2 = solve_mc(
+            cluster.l2, kc, nr, mr, element_size, sharers=l2_sharers,
+            line_elements=line_elements,
+        )
+        if chip.l3 is None:
+            nc, k3 = 1024 - 1024 % nr, 0
+        else:
+            nc, k3 = solve_nc(
+                chip.l3, kc, mc, element_size, sharers=total,
+                line_elements=line_elements,
+            )
+        out[cluster.name] = CacheBlocking(
+            mr=mr, nr=nr, kc=kc, mc=mc, nc=nc, k1=k1, k2=k2, k3=k3
+        )
+    return out
 
 
 def goto_blocking(

@@ -14,6 +14,7 @@ Exposes the library's main entry points without writing Python::
     repro verify --replay tests/cases/x.json   # re-run a shrunk case
     repro query --batch jobs.jsonl             # memoized query serving
     repro serve --warm xgene                   # pre-warm the result cache
+    repro asym --machine big_little            # big.LITTLE partition/energy
     repro report out.json                      # render a structured report
     repro report --diff baseline.json out.json # regression comparison
 
@@ -33,7 +34,7 @@ from typing import Any, Dict, List, Optional
 
 from repro._version import __version__
 from repro.analysis.report import format_series, format_table
-from repro.arch.presets import XGENE
+from repro.arch.presets import XGENE, get_preset, preset_names
 from repro.blocking.cache_blocking import solve_cache_blocking
 from repro.blocking.register_blocking import RegisterBlockingProblem
 from repro.errors import ReproError
@@ -849,6 +850,44 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_asym(args: argparse.Namespace) -> int:
+    """The asymmetric-chip exhibit: class-aware partition + energy.
+
+    Prices every placement of interest (each core class alone, all
+    cores split symmetrically, all cores split by modeled class rate)
+    and prints the performance-vs-energy frontier per size, plus the
+    headline weighted-over-symmetric speedup.
+    """
+    from repro.sim.asym import asym_exhibit
+
+    chip = get_preset(args.machine)
+    doc = asym_exhibit(chip=chip, kernel=args.kernel, smoke=args.smoke)
+    print(f"{doc['chip']}: " + ", ".join(
+        f"{name} x{c['cores']} @ {c['frequency_hz'] / 1e9:.1f} GHz "
+        f"({c['modeled_gflops_per_core']:.2f} Gflops/core modeled)"
+        for name, c in doc["classes"].items()
+    ))
+    for entry in doc["sizes"]:
+        rows = [
+            [name, p["threads"], p["gflops"], p["watts"],
+             p["gflops_per_watt"]]
+            for name, p in entry["placements"].items()
+        ]
+        print(format_table(
+            ["placement", "T", "Gflops", "W", "Gflops/W"], rows,
+            title=f"size {entry['size']}",
+        ))
+        print(f"  weighted speedup over symmetric: "
+              f"{entry['weighted_speedup']:.3f}x")
+    _emit_report(
+        args, "asym",
+        params={"machine": args.machine, "kernel": args.kernel,
+                "smoke": args.smoke},
+        stats=doc,
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render, validate, or diff structured run reports.
 
@@ -1104,7 +1143,7 @@ def build_parser() -> argparse.ArgumentParser:
              "standing query set",
     )
     p.add_argument("--warm", default="all",
-                   choices=["xgene", "mobile", "all"],
+                   choices=list(preset_names()) + ["all"],
                    help="which preset's warm query set to compute")
     p.add_argument("--cache-dir", default=".repro-cache",
                    help="result-store directory (created on demand)")
@@ -1119,7 +1158,7 @@ def build_parser() -> argparse.ArgumentParser:
              "blockings with the two-stage memoized autotuner",
     )
     p.add_argument("--machine", default="xgene",
-                   choices=["xgene", "mobile"],
+                   choices=list(preset_names()),
                    help="machine preset to tune for")
     p.add_argument("--threads", type=int, default=1,
                    help="thread count the blocking solver targets")
@@ -1145,6 +1184,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tiny fixed-seed budget for CI")
     add_json(p)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "asym",
+        help="asymmetric-chip exhibit: class-aware partition vs the "
+             "symmetric split, with the energy frontier",
+    )
+    p.add_argument("--machine", default="big_little",
+                   choices=list(preset_names()),
+                   help="machine preset to model")
+    p.add_argument("--kernel", default="OpenBLAS-8x6",
+                   choices=sorted(VARIANTS))
+    p.add_argument("--smoke", action="store_true",
+                   help="single-size CI budget")
+    add_json(p)
+    p.set_defaults(func=_cmd_asym)
 
     p = sub.add_parser(
         "report",

@@ -11,7 +11,7 @@ from repro.gemm.packing import (
     unpack_a,
     unpack_b,
 )
-from repro.gemm.parallel import parallel_dgemm
+from repro.gemm.parallel import apportion_blocks, parallel_dgemm
 from repro.gemm.pool import (
     Job,
     PoolStats,
@@ -30,6 +30,7 @@ from repro.gemm.trace import GebpEvent, GemmTrace, PackEvent
 __all__ = [
     "dgemm",
     "parallel_dgemm",
+    "apportion_blocks",
     "WorkerPool",
     "Job",
     "PoolStats",

@@ -57,10 +57,62 @@ _clock = time.perf_counter
 _Executor = Callable[[Sequence[Callable[[], None]]], None]
 
 
-def _thread_row_blocks(m: int, mc: int, threads: int) -> List[List[int]]:
-    """Round-robin assignment of mc-sized row blocks to threads."""
+def apportion_blocks(count: int, weights: Sequence[float]) -> List[int]:
+    """Split ``count`` indivisible blocks proportionally to ``weights``.
+
+    Deterministic largest-remainder apportionment (Hamilton's method):
+    every thread gets the floor of its exact quota, and the leftover
+    blocks go to the largest fractional remainders, ties broken towards
+    the lower thread index. The result sums to ``count`` exactly.
+
+    This is the Catalán-style static schedule for asymmetric chips: with
+    weights proportional to per-class modeled throughput, every class
+    finishes its share at (modeled) the same time.
+    """
+    if not weights:
+        raise GemmError("apportion_blocks needs at least one weight")
+    total = float(sum(weights))
+    if total <= 0 or any(w < 0 for w in weights):
+        raise GemmError("weights must be non-negative with a positive sum")
+    quotas = [count * w / total for w in weights]
+    counts = [int(q) for q in quotas]
+    leftover = count - sum(counts)
+    order = sorted(
+        range(len(weights)), key=lambda t: (counts[t] - quotas[t], t)
+    )
+    for t in order[:leftover]:
+        counts[t] += 1
+    return counts
+
+
+def _thread_row_blocks(
+    m: int,
+    mc: int,
+    threads: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[List[int]]:
+    """Assignment of mc-sized row blocks to threads.
+
+    Without ``weights`` (the symmetric default) blocks go round-robin —
+    the historical schedule, unchanged. With ``weights`` (one per
+    thread) each thread receives a contiguous run of blocks sized by
+    :func:`apportion_blocks`, so faster core classes sweep more of the
+    M dimension per panel iteration.
+    """
     blocks = list(range(0, m, mc))
-    return [blocks[t::threads] for t in range(threads)]
+    if weights is None:
+        return [blocks[t::threads] for t in range(threads)]
+    if len(weights) != threads:
+        raise GemmError(
+            f"got {len(weights)} weights for {threads} threads"
+        )
+    counts = apportion_blocks(len(blocks), weights)
+    out: List[List[int]] = []
+    start = 0
+    for c in counts:
+        out.append(blocks[start : start + c])
+        start += c
+    return out
 
 
 def _inline_execute(tasks: Sequence[Callable[[], None]]) -> None:
@@ -106,18 +158,26 @@ def _resolve_executor(
     persistent pool is used by default, an explicit :class:`WorkerPool`
     when given, or per-step spawning for ``pool="spawn"`` (the overhead
     baseline).
+
+    The ``pool`` argument is validated before the inline shortcut: a
+    typo'd string or wrong type is an error even when ``threads == 1``
+    or OS threads are off, instead of being silently accepted.
     """
+    if pool is not None and not isinstance(pool, (str, WorkerPool)):
+        raise GemmError(
+            "pool must be None, 'spawn', or a WorkerPool, "
+            f"got {pool!r}"
+        )
+    if isinstance(pool, str) and pool != "spawn":
+        raise GemmError(
+            f"pool must be None, 'spawn', or a WorkerPool, got {pool!r}"
+        )
     if not use_os_threads or threads == 1:
         return _inline_execute
     if pool == "spawn":
         return _spawn_execute
     if pool is None:
         pool = get_shared_pool(threads)
-    if not isinstance(pool, WorkerPool):
-        raise GemmError(
-            "pool must be None, 'spawn', or a WorkerPool, "
-            f"got {pool!r}"
-        )
     if pool.threads < threads:
         raise GemmError(
             f"pool has {pool.threads} workers, call needs {threads}"
@@ -141,6 +201,7 @@ def parallel_dgemm(
     workspace: Optional[GemmWorkspace] = None,
     stats: Optional[PoolStats] = None,
     metrics: Optional[MetricsRegistry] = None,
+    partition: str = "auto",
 ) -> "np.ndarray":
     """Layer-3-parallel DGEMM: ``C := alpha * A @ B + beta * C``.
 
@@ -175,12 +236,25 @@ def parallel_dgemm(
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
             receiving call counters and a whole-call span timer. ``None``
             (the default) adds no work to the hot loops.
+        partition: Row-block schedule for ``axis="m"``: ``"symmetric"``
+            is the historical round-robin split; ``"weighted"`` assigns
+            contiguous runs of mc-slabs proportional to each thread's
+            core-class peak throughput (the Catalán-style schedule for
+            big.LITTLE chips); ``"auto"`` (default) picks weighted on
+            asymmetric chips and symmetric otherwise, so symmetric-chip
+            behaviour is bit-for-bit unchanged. The ``axis="n"``
+            ablation always distributes panels round-robin.
 
     Returns:
         The updated C.
     """
     if axis not in ("m", "n"):
         raise GemmError("axis must be 'm' (layer 3) or 'n' (layer 1)")
+    if partition not in ("auto", "symmetric", "weighted"):
+        raise GemmError(
+            "partition must be 'auto', 'symmetric' or 'weighted', "
+            f"got {partition!r}"
+        )
     if not 1 <= threads <= chip.cores:
         raise GemmError(f"threads {threads} out of range 1..{chip.cores}")
     a = np.asarray(a, dtype=np.float64)
@@ -205,7 +279,23 @@ def parallel_dgemm(
     ws = workspace if workspace is not None else get_shared_workspace()
     executor = _resolve_executor(use_os_threads, threads, pool)
     if stats is not None:
-        stats.calls += 1
+        stats.record_call()
+
+    weighted = partition == "weighted" or (
+        partition == "auto" and chip.is_asymmetric
+    )
+    weights: Optional[List[float]] = None
+    if chip.clusters or weighted:
+        clusters = chip.core_clusters
+        placement = chip.thread_clusters(threads)
+        classes = {t: clusters[ci].name for t, ci in enumerate(placement)}
+        if trace is not None:
+            trace.thread_classes.update(classes)
+        if stats is not None:
+            stats.assign_classes(classes)
+        if weighted:
+            weights = [clusters[ci].core.peak_flops for ci in placement]
+
     run = _run_axis_m if axis == "m" else _run_axis_n
     if metrics is not None:
         metrics.inc("parallel.calls")
@@ -215,10 +305,13 @@ def parallel_dgemm(
         with metrics.span("parallel.dgemm"):
             run(
                 a, b, c_arr, threads, alpha, beta, blk, trace, ws,
-                stats, executor,
+                stats, executor, weights,
             )
     else:
-        run(a, b, c_arr, threads, alpha, beta, blk, trace, ws, stats, executor)
+        run(
+            a, b, c_arr, threads, alpha, beta, blk, trace, ws, stats,
+            executor, weights,
+        )
     return c_arr
 
 
@@ -234,11 +327,12 @@ def _run_axis_m(
     ws: GemmWorkspace,
     stats: Optional[PoolStats],
     executor: _Executor,
+    weights: Optional[Sequence[float]] = None,
 ) -> None:
     """Layer-3 split: one barrier step per (jj, kk) panel iteration."""
     m, k = a.shape
     _, n = b.shape
-    assignments = _thread_row_blocks(m, blk.mc, threads)
+    assignments = _thread_row_blocks(m, blk.mc, threads, weights)
     active = [t for t in range(threads) if assignments[t]]
 
     for jj in range(0, n, blk.nc):
@@ -334,11 +428,14 @@ def _run_axis_n(
     ws: GemmWorkspace,
     stats: Optional[PoolStats],
     executor: _Executor,
+    weights: Optional[Sequence[float]] = None,
 ) -> None:
     """Layer-1 split (the Fig. 9 ablation): column panels are distributed
     round-robin across threads, each thread packing its own private B
     panel and walking all of A — one barrier step for the whole call,
-    since no state is shared between threads."""
+    since no state is shared between threads. ``weights`` is accepted
+    for signature parity with the layer-3 split but ignored: the
+    ablation deliberately keeps the naive symmetric schedule."""
     m, k = a.shape
     _, n = b.shape
     col_blocks = list(range(0, n, blk.nc))

@@ -104,6 +104,8 @@ class PoolStats:
     counters: Dict[int, ThreadCounters] = field(default_factory=dict)
     steps: int = 0
     calls: int = 0
+    #: Core-class name per logical thread (asymmetric chips only).
+    thread_class: Dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Not a dataclass field: excluded from __eq__/asdict on purpose.
@@ -125,6 +127,30 @@ class PoolStats:
             t for t, c in self.snapshot().items()
             if c.pack_a_calls or c.pack_b_calls or c.gebp_calls
         )
+
+    def assign_classes(self, mapping: Dict[int, str]) -> None:
+        """Record the core class of each logical thread (lock-serialized)."""
+        with self._lock:
+            self.thread_class.update(mapping)
+
+    def class_busy_seconds(self) -> Dict[str, float]:
+        """Busy seconds per core class; unclassified threads → ``"all"``."""
+        totals: Dict[str, float] = {}
+        for t, c in self.snapshot().items():
+            name = self.thread_class.get(t, "all")
+            totals[name] = totals.get(name, 0.0) + c.busy_seconds
+        return totals
+
+    def record_call(self) -> None:
+        """Count one engine call, serialized with resets and snapshots.
+
+        The parallel engine calls this instead of bumping ``calls``
+        directly: a bare ``stats.calls += 1`` is a read-modify-write that
+        loses increments when concurrent callers share one
+        :class:`PoolStats`.
+        """
+        with self._lock:
+            self.calls += 1
 
     def reset(self) -> None:
         """Zero all counters; existing :class:`ThreadCounters` references

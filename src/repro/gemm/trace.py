@@ -10,7 +10,7 @@ ragged boundary tiles that shape the small-size ramp of Figs. 11/12/14.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -60,6 +60,9 @@ class GemmTrace:
     threads: int = 1
     packs: List[PackEvent] = field(default_factory=list)
     gebps: List[GebpEvent] = field(default_factory=list)
+    #: Core-class name per logical thread (filled by the parallel engine
+    #: when the chip declares clusters; empty on symmetric chips).
+    thread_classes: Dict[int, str] = field(default_factory=dict)
 
     def record_pack(self, operand: str, rows: int, cols: int, thread: int = 0) -> None:
         self.packs.append(PackEvent(operand, rows, cols, thread))
@@ -78,6 +81,18 @@ class GemmTrace:
     def flops(self) -> int:
         """Useful flops implied by the GEBP events (2*m*k*n each)."""
         return sum(2 * e.mc * e.kc * e.nc for e in self.gebps)
+
+    def class_flops(self) -> Dict[str, int]:
+        """Useful flops per core class, from :attr:`thread_classes`.
+
+        Threads without a recorded class (symmetric chips, old traces)
+        are attributed to ``"all"``.
+        """
+        totals: Dict[str, int] = {}
+        for e in self.gebps:
+            name = self.thread_classes.get(e.thread, "all")
+            totals[name] = totals.get(name, 0) + 2 * e.mc * e.kc * e.nc
+        return totals
 
     @property
     def packed_a_elements(self) -> int:

@@ -324,6 +324,10 @@ def snapshot_hierarchy(h: Any) -> Dict[str, Any]:
     if h.l3 is not None:
         doc["l3"] = snapshot_cache_stats(h.l3_stats())
     tlb_stats = [t.stats for t in h.tlbs if t is not None]
+    # Surfaced explicitly so a report reader can tell "no TLB misses"
+    # from "no TLB in the model" (e.g. the mobile preset omits one on
+    # purpose; see repro.arch.presets.MOBILE_SOC).
+    doc["tlb_modeled"] = bool(tlb_stats)
     if tlb_stats:
         doc["tlb"] = {
             "accesses": sum(s.accesses for s in tlb_stats),

@@ -116,6 +116,9 @@ def _simulate_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
             "efficiency": perf.efficiency,
             "l1_loads": perf.l1_loads,
             "breakdown": dict(perf.breakdown),
+            "joules": perf.joules,
+            "gflops_per_watt": perf.gflops_per_watt,
+            "energy_breakdown": dict(perf.energy_breakdown),
         },
         "blocking": {
             "mr": blk.mr, "nr": blk.nr, "kc": blk.kc, "mc": blk.mc,

@@ -22,7 +22,7 @@ _WARM_KERNELS = ("OpenBLAS-8x6", "OpenBLAS-4x4")
 #: Square problem sizes warmed for the analytic model.
 _WARM_SIZES = (256, 512, 1024)
 
-#: Thread counts warmed (both presets have at least 4 cores).
+#: Thread counts warmed (every registered preset has at least 4 cores).
 _WARM_THREADS = (1, 4)
 
 #: Valid arguments to :func:`warm_queries`.

@@ -17,8 +17,9 @@ Three query kinds exist, one per engine family:
 - ``timed`` — the timing-functional micro-tile run
   (:meth:`~repro.sim.gemm_sim.GemmSimulator.timed_kernel`).
 
-The ``machine`` field is either a preset name (``"xgene"``,
-``"mobile"``) or a full machine document in the
+The ``machine`` field is either a registered preset name (any key of
+:data:`repro.arch.presets.PRESETS` — ``"xgene"``, ``"mobile"``,
+``"big_little"``) or a full machine document in the
 :mod:`repro.verify.machines` schema, so fuzzer-shaped chips are servable
 too.
 
@@ -36,7 +37,8 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from repro.arch.params import ChipParams
-from repro.errors import ReproError
+from repro.arch.presets import preset_names
+from repro.errors import ArchitectureError, ReproError
 from repro.obs.run_report import SCHEMA_VERSION
 
 __all__ = [
@@ -57,8 +59,11 @@ QUERY_SCHEMA_VERSION = 1
 #: The query kinds, one per engine family.
 KINDS = ("simulate", "cachesim", "timed")
 
-#: Named machine presets a query may reference.
-MACHINE_PRESETS = ("xgene", "mobile")
+#: Named machine presets a query may reference — derived from the one
+#: chip registry (:data:`repro.arch.presets.PRESETS`) so a new preset is
+#: servable without touching this module. Preset *names* are part of the
+#: cache-key material; the chips behind them must stay byte-stable.
+MACHINE_PRESETS = preset_names()
 
 
 class QueryError(ReproError):
@@ -194,12 +199,12 @@ def resolve_machine(machine: Any) -> Tuple[str, "ChipParams"]:
     Returns ``(label, chip)`` where the label names the preset or marks
     a custom machine document.
     """
-    from repro.arch.presets import MOBILE_SOC, XGENE
+    from repro.arch.presets import get_preset
 
     if isinstance(machine, str):
         try:
-            return machine, {"xgene": XGENE, "mobile": MOBILE_SOC}[machine]
-        except KeyError:
+            return machine, get_preset(machine)
+        except ArchitectureError:
             raise QueryError(
                 f"unknown machine preset {machine!r}"
             ) from None

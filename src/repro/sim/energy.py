@@ -1,0 +1,108 @@
+"""A simple DGEMM energy model.
+
+Complements the cycle model with first-order energy accounting in the
+style of the Catalán et al. big.LITTLE studies: total energy is the sum
+of event energies — one charge per vector FMA instruction, per retired
+L1 load, per off-chip line transfer — plus a per-cycle idle charge for
+every cycle a core spends waiting on load imbalance or barriers. The
+per-event energies live on :class:`~repro.arch.params.CoreParams` and
+:class:`~repro.arch.params.CacheParams`, so a LITTLE core is cheap per
+flop but slow, a big core is fast but expensive, and the interesting
+trade-off (performance vs. Gflops/W frontier) falls out of the same
+architecture description the cycle model already consumes.
+
+The model is deliberately coarse — no DVFS, no race-to-idle, uniform
+off-chip charge at the last cache level's fill energy — but it is a pure
+function of the chip parameters, which keeps it deterministic and lets
+the exhibit compare partition strategies on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.arch.params import ChipParams, CoreParams
+from repro.errors import SimulationError
+
+_PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting of one DGEMM execution.
+
+    Attributes:
+        joules: Total energy.
+        watts: Average power over the execution.
+        gflops_per_watt: Energy efficiency (= Gflops / watts).
+        breakdown: Joules by component (``fma``, ``load``, ``miss``,
+            ``idle``).
+    """
+
+    joules: float
+    watts: float
+    gflops_per_watt: float
+    breakdown: Dict[str, float]
+
+
+def dgemm_energy(
+    chip: ChipParams,
+    flops: float,
+    l1_loads: float,
+    bytes_offchip: float,
+    cycles: float,
+    per_thread_cycles: Optional[Iterable[float]] = None,
+    core: Optional[CoreParams] = None,
+) -> EnergyEstimate:
+    """First-order energy of one DGEMM execution on ``chip``.
+
+    Args:
+        chip: Architecture description; supplies the per-event energies
+            and the off-chip line size.
+        flops: Useful floating-point operations performed.
+        l1_loads: Retired L1 load instructions.
+        bytes_offchip: Total off-chip (DRAM) traffic in bytes, charged
+            at the last cache level's per-line miss energy.
+        cycles: Chip cycles from start to finish.
+        per_thread_cycles: Busy cycles of each participating thread;
+            every thread's shortfall against ``cycles`` is charged at
+            the idle rate. Omitted: no idle charge (serial runs).
+        core: Core class doing the arithmetic; defaults to the chip's
+            flat (lead-cluster) core. Asymmetry-aware callers split the
+            work per class and call once per class instead.
+
+    Returns:
+        An :class:`EnergyEstimate`; ``gflops_per_watt`` is infinite for
+        a zero-energy execution only when flops were performed.
+    """
+    if cycles <= 0:
+        raise SimulationError("cycles must be positive")
+    c = core if core is not None else chip.core
+    lanes = c.doubles_per_register
+    vector_fmas = flops / (c.flops_per_fma * lanes)
+    fma_j = vector_fmas * c.fma_energy_pj * _PJ
+    load_j = l1_loads * c.load_energy_pj * _PJ
+    last_level = chip.cache_levels[-1]
+    lines = bytes_offchip / last_level.line_bytes
+    miss_j = lines * last_level.miss_energy_pj * _PJ
+    idle_j = 0.0
+    if per_thread_cycles is not None:
+        for busy in per_thread_cycles:
+            idle_j += max(0.0, cycles - busy) * c.idle_energy_pj * _PJ
+    joules = fma_j + load_j + miss_j + idle_j
+    seconds = cycles / c.frequency_hz
+    watts = joules / seconds
+    gflops = flops / seconds / 1e9
+    gflops_per_watt = gflops / watts if watts > 0 else float("inf")
+    return EnergyEstimate(
+        joules=joules,
+        watts=watts,
+        gflops_per_watt=gflops_per_watt,
+        breakdown={
+            "fma": fma_j,
+            "load": load_j,
+            "miss": miss_j,
+            "idle": idle_j,
+        },
+    )

@@ -44,6 +44,7 @@ from repro.kernels.kernel_spec import KernelSpec
 from repro.kernels.variants import VARIANTS
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache_fit import Residency, analyze_residency, stream_costs
+from repro.sim.energy import dgemm_energy
 from repro.sim.gebp_cachesim import GebpCacheResult, simulate_gebp_cache
 from repro.sim.params import DEFAULT_SIM_PARAMS, SimParams
 from repro.sim.synthetic_trace import micro_tiles, synthesize_trace
@@ -64,6 +65,10 @@ class GemmPerformance:
         l1_loads: Retired 128-bit L1 loads (the Fig. 15 counter).
         breakdown: Cycle shares by component (diagnostic).
         blocking: The blocking used.
+        joules: Modeled energy of the execution (simple event-energy
+            model, :mod:`repro.sim.energy`).
+        gflops_per_watt: Modeled energy efficiency.
+        energy_breakdown: Joules by component (diagnostic).
     """
 
     kernel: str
@@ -78,6 +83,9 @@ class GemmPerformance:
     l1_loads: float
     breakdown: Dict[str, float]
     blocking: CacheBlocking
+    joules: float = 0.0
+    gflops_per_watt: float = 0.0
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
 
 
 class GemmSimulator:
@@ -398,6 +406,15 @@ class GemmSimulator:
         gflops = flops / seconds / 1e9
         eff = gflops * 1e9 / self.chip.peak_flops_for(threads)
 
+        energy = dgemm_energy(
+            self.chip,
+            flops=flops,
+            l1_loads=l1_loads,
+            bytes_offchip=bytes_total,
+            cycles=cycles,
+            per_thread_cycles=per_thread.values(),
+        )
+
         return GemmPerformance(
             kernel=kernel,
             m=m,
@@ -418,4 +435,7 @@ class GemmSimulator:
                 "bandwidth_floor": bw_cycles,
             },
             blocking=blk,
+            joules=energy.joules,
+            gflops_per_watt=energy.gflops_per_watt,
+            energy_breakdown=energy.breakdown,
         )

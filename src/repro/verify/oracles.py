@@ -32,7 +32,7 @@ from typing import Any, Dict, Iterator, List
 
 import numpy as np
 
-from repro.arch.presets import MOBILE_SOC, XGENE
+from repro.arch.presets import MOBILE_SOC, PRESETS, XGENE
 from repro.blocking.cache_blocking import CacheBlocking
 from repro.memory.batch import BatchTrace
 from repro.memory.cache import (
@@ -54,8 +54,10 @@ from repro.verify.oracle import Oracle, register
 
 __all__ = ["CHIPS"]
 
-#: Named chips a case may reference (kept tiny and JSON-friendly).
-CHIPS = {"xgene": XGENE, "mobile": MOBILE_SOC}
+#: Named chips a case may reference (kept tiny and JSON-friendly) —
+#: every registered preset; generation keeps drawing from the historical
+#: subsets so committed cases and fixed-seed sweeps stay reproducible.
+CHIPS = dict(PRESETS)
 
 
 def _sha256(array: np.ndarray) -> str:
@@ -925,4 +927,109 @@ register(Oracle(
     reference=_tune_reference,
     fast=_tune_fast,
     shrink=_tune_shrink,
+))
+
+
+# =============================================================================
+# asym.partition — weighted class-aware partitioning vs the serial reference
+# =============================================================================
+
+
+def _asym_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    from repro.verify.machines import random_asym_machine
+
+    hi = 24 if budget == "smoke" else 48
+    machine = random_asym_machine(rng, budget)
+    cores = sum(c["cores"] for c in machine["clusters"])
+    mr, nr = rng.choice(_TILES)
+    return {
+        "machine": machine,
+        "m": rng.randint(1, hi),
+        "n": rng.randint(1, hi),
+        "k": rng.randint(1, hi),
+        "threads": rng.randint(2, max(2, min(4, cores))),
+        "alpha": rng.choice(_SCALARS),
+        "beta": rng.choice(_SCALARS),
+        "blocking": {
+            "mr": mr,
+            "nr": nr,
+            "kc": rng.choice((4, 8, 16)),
+            "mc": rng.choice((8, 16, 24)),
+            "nc": rng.choice((12, 16, 32)),
+        },
+        "data_seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _asym_run(params: Dict[str, Any], weighted: bool) -> Dict[str, Any]:
+    from repro.gemm.parallel import parallel_dgemm
+    from repro.gemm.trace import GemmTrace
+    from repro.gemm.workspace import GemmWorkspace
+
+    chip = build_chip(params["machine"])
+    g = np.random.default_rng(params["data_seed"])
+    m, n, k = params["m"], params["n"], params["k"]
+    a = np.asfortranarray(g.standard_normal((m, k)))
+    b = np.asfortranarray(g.standard_normal((k, n)))
+    c = np.asfortranarray(g.standard_normal((m, n)))
+    blk = params["blocking"]
+    blocking = CacheBlocking(
+        mr=blk["mr"], nr=blk["nr"], kc=blk["kc"], mc=blk["mc"],
+        nc=blk["nc"], k1=1, k2=1, k3=1,
+    )
+    threads = min(params["threads"], chip.cores) if weighted else 1
+    trace = GemmTrace()
+    out = parallel_dgemm(
+        a, b, c.copy(order="F"), threads=threads,
+        alpha=params["alpha"], beta=params["beta"],
+        blocking=blocking, chip=chip, trace=trace,
+        partition="weighted" if weighted else "symmetric",
+        workspace=GemmWorkspace(),
+    )
+    # Thread ids differ between the serial and weighted runs by design;
+    # identity is the C bits plus the (order-free) multiset of work the
+    # engine performed.
+    return {
+        "c": _array_doc(out),
+        "flops": trace.flops,
+        "gebps": sorted(
+            [e.mc, e.kc, e.nc, e.beta_pass] for e in trace.gebps
+        ),
+        "packs": sorted(
+            [e.operand, e.rows, e.cols] for e in trace.packs
+        ),
+    }
+
+
+def _asym_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    from repro.verify.machines import simplified_asym_machines
+
+    for dim in ("m", "n", "k"):
+        if params[dim] > 1:
+            yield {**params, dim: max(1, params[dim] // 2)}
+            yield {**params, dim: params[dim] - 1}
+    if params["threads"] > 2:
+        yield {**params, "threads": 2}
+    for scalar in ("alpha", "beta"):
+        if params[scalar] != 1.0:
+            yield {**params, scalar: 1.0}
+    blk = params["blocking"]
+    for key in ("kc", "mc", "nc"):
+        if blk[key] > 4:
+            yield {**params, "blocking": {**blk, key: blk[key] // 2}}
+    for machine in simplified_asym_machines(params["machine"]):
+        yield {**params, "machine": machine}
+
+
+register(Oracle(
+    name="asym.partition",
+    suite="asym",
+    description=(
+        "weighted class-aware partitioning on asymmetric chips is "
+        "bit-identical to the serial reference (C values, work multiset)"
+    ),
+    generate=_asym_generate,
+    reference=lambda p: _asym_run(p, weighted=False),
+    fast=lambda p: _asym_run(p, weighted=True),
+    shrink=_asym_shrink,
 ))

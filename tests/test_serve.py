@@ -298,15 +298,22 @@ class TestQueryEngine:
 
 class TestWarmQueries:
     def test_all_presets_canonicalize(self):
-        for preset in ("xgene", "mobile", "all"):
+        from repro.serve.presets import WARM_PRESETS
+
+        for preset in WARM_PRESETS:
             docs = warm_queries(preset)
             assert docs
             for doc in docs:
                 canonical_query(doc)  # must not raise
 
     def test_all_is_union(self):
+        from repro.serve.query import MACHINE_PRESETS
+
         keys = lambda p: {query_key(d)[1] for d in warm_queries(p)}
-        assert keys("all") == keys("xgene") | keys("mobile")
+        union = set()
+        for preset in MACHINE_PRESETS:
+            union |= keys(preset)
+        assert keys("all") == union
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(QueryError):

@@ -42,7 +42,7 @@ class TestRegistry:
         assert names == [
             "gemm.pool", "cachesim.batch", "timed.compiled",
             "timed.oddtile", "cachesim.writethrough", "sweep.incremental",
-            "lru.array", "serve.cache", "tune.memo",
+            "lru.array", "serve.cache", "tune.memo", "asym.partition",
         ]
 
     def test_suites_cover_every_oracle(self):
