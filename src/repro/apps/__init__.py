@@ -1,4 +1,9 @@
-"""Downstream applications built on the reproduction's DGEMM."""
+"""Downstream applications built on the reproduction's DGEMM.
+
+The flop-counting DGEMM wrapper the LU update popularized now lives in
+:mod:`repro.workloads.base`; it is re-exported here so application code
+keeps one import root.
+"""
 
 from repro.apps.lu import (
     LuResult,
@@ -7,6 +12,7 @@ from repro.apps.lu import (
     lu_solve,
     reconstruct,
 )
+from repro.workloads.base import traced_dgemm
 
 __all__ = [
     "LuResult",
@@ -14,4 +20,5 @@ __all__ = [
     "lu_solve",
     "linpack_residual",
     "reconstruct",
+    "traced_dgemm",
 ]

@@ -21,8 +21,7 @@ import numpy as np
 
 from repro.blocking.cache_blocking import CacheBlocking
 from repro.errors import GemmError
-from repro.gemm.driver import dgemm
-from repro.gemm.trace import GemmTrace
+from repro.workloads.base import traced_dgemm
 
 
 @dataclass
@@ -106,17 +105,15 @@ def lu_factor(
             # kernel exists for.
             l21 = np.asfortranarray(a[j + jb :, j : j + jb])
             u12 = np.asfortranarray(a12)
-            trace = GemmTrace()
-            a[j + jb :, j + jb :] = dgemm(
+            a[j + jb :, j + jb :], flops = traced_dgemm(
                 l21,
                 u12,
                 a[j + jb :, j + jb :],
                 alpha=-1.0,
                 beta=1.0,
                 blocking=blocking,
-                trace=trace,
             )
-            gemm_flops += trace.flops
+            gemm_flops += flops
     return LuResult(lu=a, piv=piv, gemm_flops=gemm_flops)
 
 

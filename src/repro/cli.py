@@ -15,6 +15,8 @@ Exposes the library's main entry points without writing Python::
     repro query --batch jobs.jsonl             # memoized query serving
     repro serve --warm xgene                   # pre-warm the result cache
     repro asym --machine big_little            # big.LITTLE partition/energy
+    repro stencil --smoke                      # blocked-vs-unblocked stencil
+    repro conv --smoke                         # direct-vs-im2col convolution
     repro report out.json                      # render a structured report
     repro report --diff baseline.json out.json # regression comparison
 
@@ -888,6 +890,92 @@ def _cmd_asym(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_variant_rows(variants: Dict[str, Any]) -> List[List[Any]]:
+    return [
+        [name, v["l1_loads"], v["l1_load_misses"],
+         f"{v['l1_load_miss_rate']:.4f}", v["dram_accesses"],
+         v["cycles"], f"{v['gflops']:.3f}"]
+        for name, v in variants.items()
+    ]
+
+
+def _cmd_stencil(args: argparse.Namespace) -> int:
+    """The stencil exhibit: cache-blocked vs unblocked Jacobi sweeps.
+
+    Proves the variants bit-identical, then prints the Table VII-style
+    counter comparison — the blocked tile keeps its halo rows resident
+    where the unblocked row-major sweep loses the up-arm reuse.
+    """
+    from repro.workloads.exhibit import stencil_exhibit
+
+    chip = get_preset(args.machine)
+    doc = stencil_exhibit(
+        chip, height=args.height, width=args.width, radius=args.radius,
+        iterations=args.iterations, seed=args.seed, smoke=args.smoke,
+    )
+    p = doc["params"]
+    print(f"{doc['chip']}: {p['height']}x{p['width']} grid, radius "
+          f"{p['radius']}, {p['iterations']} sweep(s), solved tile "
+          f"{doc['block']['bi']}x{doc['block']['bj']}")
+    print(format_table(
+        ["variant", "L1 loads", "L1 misses", "miss rate", "DRAM",
+         "cycles", "Gflops"],
+        _workload_variant_rows(doc["variants"]),
+        title="stencil: blocked vs unblocked",
+    ))
+    print(f"  bit-identical outputs: {doc['bit_identical']}")
+    print(f"  unblocked/blocked miss-rate ratio: "
+          f"{doc['miss_rate_ratio']:.3f}x")
+    print(f"  blocked speedup: {doc['speedup']:.3f}x")
+    _emit_report(
+        args, "stencil",
+        params={"machine": args.machine, **p},
+        stats=doc,
+    )
+    return 0 if doc["bit_identical"] else 1
+
+
+def _cmd_conv(args: argparse.Namespace) -> int:
+    """The convolution exhibit: direct vs im2col lowering.
+
+    Both lowerings drive the identical GEBP stream; im2col pays the
+    patches-matrix round trip through DRAM. Proves both bit-equality
+    contracts (lowering-vs-lowering, blocked-vs-unblocked) first.
+    """
+    from repro.workloads.exhibit import conv_exhibit
+
+    chip = get_preset(args.machine)
+    doc = conv_exhibit(
+        chip, cin=args.cin, height=args.height, width=args.width,
+        kh=args.kh, kw=args.kw, filters=args.filters, seed=args.seed,
+        smoke=args.smoke,
+    )
+    p = doc["params"]
+    g = doc["gemm_shape"]
+    blk = doc["blocking"]
+    print(f"{doc['chip']}: {p['cin']}x{p['height']}x{p['width']} image, "
+          f"{p['filters']} {p['kh']}x{p['kw']} filters -> GEMM "
+          f"{g['m']}x{g['k']}x{g['n']} at "
+          f"mc={blk['mc']} kc={blk['kc']} nc={blk['nc']}")
+    print(format_table(
+        ["variant", "L1 loads", "L1 misses", "miss rate", "DRAM",
+         "cycles", "Gflops"],
+        _workload_variant_rows(doc["variants"]),
+        title="conv: im2col vs direct",
+    ))
+    ok = doc["bit_identical"] and doc["bit_identical_unblocked"]
+    print(f"  bit-identical lowerings: {doc['bit_identical']}; "
+          f"vs unblocked: {doc['bit_identical_unblocked']}")
+    print(f"  im2col/direct DRAM ratio: {doc['dram_ratio']:.3f}x")
+    print(f"  direct speedup: {doc['speedup']:.3f}x")
+    _emit_report(
+        args, "conv",
+        params={"machine": args.machine, **p},
+        stats=doc,
+    )
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render, validate, or diff structured run reports.
 
@@ -1199,6 +1287,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="single-size CI budget")
     add_json(p)
     p.set_defaults(func=_cmd_asym)
+
+    p = sub.add_parser(
+        "stencil",
+        help="stencil exhibit: cache-blocked vs unblocked Jacobi sweeps "
+             "through the cache walk and the timed scoreboard",
+    )
+    p.add_argument("--machine", default="xgene",
+                   choices=list(preset_names()),
+                   help="machine preset to model")
+    p.add_argument("--height", type=int, default=None,
+                   help="grid rows (default 64, 32 with --smoke)")
+    p.add_argument("--width", type=int, default=None,
+                   help="grid columns (default 2048)")
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=2,
+                   help="Jacobi sweeps")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="narrow-grid CI budget")
+    add_json(p)
+    p.set_defaults(func=_cmd_stencil)
+
+    p = sub.add_parser(
+        "conv",
+        help="convolution exhibit: direct gather nest vs im2col + DGEMM "
+             "at the solved blocking",
+    )
+    p.add_argument("--machine", default="xgene",
+                   choices=list(preset_names()),
+                   help="machine preset to model")
+    p.add_argument("--cin", type=int, default=None,
+                   help="input channels (default 3, 1 with --smoke)")
+    p.add_argument("--height", type=int, default=None,
+                   help="image rows (default 34, 18 with --smoke)")
+    p.add_argument("--width", type=int, default=None,
+                   help="image columns (default 34, 18 with --smoke)")
+    p.add_argument("--kh", type=int, default=3, help="filter rows")
+    p.add_argument("--kw", type=int, default=3, help="filter columns")
+    p.add_argument("--filters", type=int, default=None,
+                   help="output channels (default 16, 8 with --smoke)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="small-image CI budget")
+    add_json(p)
+    p.set_defaults(func=_cmd_conv)
 
     p = sub.add_parser(
         "report",

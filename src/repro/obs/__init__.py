@@ -40,6 +40,8 @@ from repro.obs.run_report import (
     snapshot_pipeline,
     snapshot_pool_stats,
     snapshot_timed_run,
+    snapshot_workload_cache_result,
+    snapshot_workload_timed_result,
     validate_report,
 )
 
@@ -61,6 +63,8 @@ __all__ = [
     "snapshot_pipeline",
     "snapshot_pool_stats",
     "snapshot_timed_run",
+    "snapshot_workload_cache_result",
+    "snapshot_workload_timed_result",
     "Comparison",
     "Finding",
     "DEFAULT_TOLERANCE",

@@ -161,10 +161,50 @@ def _timed_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
     return engines, {"run": snapshot_timed_run(run)}
 
 
+def _stencil_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    from repro.workloads.exhibit import stencil_exhibit
+
+    _, chip = resolve_machine(query["machine"])
+    doc = stencil_exhibit(
+        chip,
+        height=query["height"], width=query["width"],
+        radius=query["radius"], iterations=query["iterations"],
+        seed=query["seed"], smoke=query["smoke"],
+    )
+    engines = {
+        "cache": {"requested": "auto", "selected": "batched",
+                  "fallback_reason": None},
+        "timed": {"requested": "auto", "selected": "compiled",
+                  "fallback_reason": None},
+    }
+    return engines, {"exhibit": doc}
+
+
+def _conv_answer(query: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    from repro.workloads.exhibit import conv_exhibit
+
+    _, chip = resolve_machine(query["machine"])
+    doc = conv_exhibit(
+        chip,
+        cin=query["cin"], height=query["height"], width=query["width"],
+        kh=query["kh"], kw=query["kw"], filters=query["filters"],
+        seed=query["seed"], smoke=query["smoke"],
+    )
+    engines = {
+        "cache": {"requested": "auto", "selected": "batched",
+                  "fallback_reason": None},
+        "timed": {"requested": "auto", "selected": "compiled",
+                  "fallback_reason": None},
+    }
+    return engines, {"exhibit": doc}
+
+
 _EXECUTORS = {
     "simulate": _simulate_answer,
     "cachesim": _cachesim_answer,
     "timed": _timed_answer,
+    "stencil": _stencil_answer,
+    "conv": _conv_answer,
 }
 
 

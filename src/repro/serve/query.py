@@ -8,14 +8,23 @@ keys rejected) and the canonical JSON serialization is SHA-256-hashed
 into the cache key, reusing the JSON-only param-doc idiom of
 :mod:`repro.verify.oracles`.
 
-Three query kinds exist, one per engine family:
+Five query kinds exist — one per engine family, plus one per workload
+exhibit:
 
 - ``simulate`` — the analytic Sec. III/IV performance model
   (:meth:`~repro.sim.gemm_sim.GemmSimulator.simulate`);
 - ``cachesim`` — the event-accurate GEBP cache replay
   (:func:`~repro.sim.gebp_cachesim.simulate_gebp_cache`);
 - ``timed`` — the timing-functional micro-tile run
-  (:meth:`~repro.sim.gemm_sim.GemmSimulator.timed_kernel`).
+  (:meth:`~repro.sim.gemm_sim.GemmSimulator.timed_kernel`);
+- ``stencil`` — the blocked-vs-unblocked stencil exhibit
+  (:func:`~repro.workloads.exhibit.stencil_exhibit`);
+- ``conv`` — the direct-vs-im2col convolution exhibit
+  (:func:`~repro.workloads.exhibit.conv_exhibit`).
+
+The GEMM kinds take a ``kernel`` field; the workload kinds do not (their
+kernels are generated from the workload shape), and reject it like any
+other field that does not belong to the kind.
 
 The ``machine`` field is either a registered preset name (any key of
 :data:`repro.arch.presets.PRESETS` — ``"xgene"``, ``"mobile"``,
@@ -42,8 +51,10 @@ from repro.errors import ArchitectureError, ReproError
 from repro.obs.run_report import SCHEMA_VERSION
 
 __all__ = [
+    "GEMM_KINDS",
     "KINDS",
     "MACHINE_PRESETS",
+    "WORKLOAD_KINDS",
     "QUERY_SCHEMA_VERSION",
     "QueryError",
     "canonical_query",
@@ -56,8 +67,14 @@ __all__ = [
 #: answer means, so the key must change with it.
 QUERY_SCHEMA_VERSION = 1
 
-#: The query kinds, one per engine family.
-KINDS = ("simulate", "cachesim", "timed")
+#: The GEMM query kinds, one per engine family (these take ``kernel``).
+GEMM_KINDS = ("simulate", "cachesim", "timed")
+
+#: The workload-exhibit query kinds (no ``kernel`` field).
+WORKLOAD_KINDS = ("stencil", "conv")
+
+#: All query kinds.
+KINDS = GEMM_KINDS + WORKLOAD_KINDS
 
 #: Named machine presets a query may reference — derived from the one
 #: chip registry (:data:`repro.arch.presets.PRESETS`) so a new preset is
@@ -82,6 +99,14 @@ _KIND_DEFAULTS: Dict[str, Dict[str, Any]] = {
     },
     "timed": {
         "kc": None, "hw_late": 0.25, "seed": 0, "engine": "auto",
+    },
+    "stencil": {
+        "height": None, "width": None, "radius": 1, "iterations": 2,
+        "seed": 0, "smoke": False,
+    },
+    "conv": {
+        "cin": None, "height": None, "width": None, "kh": 3, "kw": 3,
+        "filters": None, "seed": 0, "smoke": False,
     },
 }
 
@@ -113,15 +138,15 @@ def canonical_query(doc: Dict[str, Any]) -> Dict[str, Any]:
         raise QueryError(
             f"query kind {kind!r} unknown; choose from {list(KINDS)}"
         )
-    from repro.kernels.variants import VARIANTS
-
     query: Dict[str, Any] = {
         "kind": kind,
         "machine": doc.get("machine", "xgene"),
-        "kernel": doc.get("kernel", "OpenBLAS-8x6"),
     }
+    common = _COMMON_FIELDS if kind in GEMM_KINDS else ("kind", "machine")
+    if kind in GEMM_KINDS:
+        query["kernel"] = doc.get("kernel", "OpenBLAS-8x6")
     defaults = _KIND_DEFAULTS[kind]
-    unknown = set(doc) - set(_COMMON_FIELDS) - set(defaults)
+    unknown = set(doc) - set(common) - set(defaults)
     if unknown:
         raise QueryError(
             f"unknown {kind} query field(s): {sorted(unknown)}"
@@ -129,11 +154,14 @@ def canonical_query(doc: Dict[str, Any]) -> Dict[str, Any]:
     for field, default in defaults.items():
         query[field] = doc.get(field, default)
 
-    if query["kernel"] not in VARIANTS:
-        raise QueryError(
-            f"unknown kernel {query['kernel']!r}; choose from "
-            f"{sorted(VARIANTS)}"
-        )
+    if kind in GEMM_KINDS:
+        from repro.kernels.variants import VARIANTS
+
+        if query["kernel"] not in VARIANTS:
+            raise QueryError(
+                f"unknown kernel {query['kernel']!r}; choose from "
+                f"{sorted(VARIANTS)}"
+            )
     machine = query["machine"]
     if isinstance(machine, str):
         if machine not in MACHINE_PRESETS:
@@ -160,7 +188,7 @@ def canonical_query(doc: Dict[str, Any]) -> Dict[str, Any]:
             raise QueryError(
                 f"cachesim engine {query['engine']!r} unknown"
             )
-    else:  # timed
+    elif kind == "timed":
         _require_int(query, "seed", 0)
         if query["kc"] is not None:
             _require_int(query, "kc", 1)
@@ -171,6 +199,18 @@ def canonical_query(doc: Dict[str, Any]) -> Dict[str, Any]:
         query["hw_late"] = float(query["hw_late"])
         if query["engine"] not in ("auto", "compiled", "interpreted"):
             raise QueryError(f"timed engine {query['engine']!r} unknown")
+    else:  # stencil / conv
+        _require_int(query, "seed", 0)
+        if not isinstance(query["smoke"], bool):
+            raise QueryError("smoke must be a boolean")
+        sized = (
+            ("height", "width", "radius", "iterations")
+            if kind == "stencil"
+            else ("cin", "height", "width", "kh", "kw", "filters")
+        )
+        for field in sized:
+            if query[field] is not None:
+                _require_int(query, field, 1)
     return query
 
 

@@ -16,7 +16,13 @@ Each oracle is declared once and covers one bit-identity claim:
 - ``cachesim.writethrough`` — the batched store-propagation walk on
   machines with write-through levels vs the scalar chain;
 - ``sweep.incremental`` — sweeps carrying warm hierarchy state across
-  adjacent points vs cold-start replays of every point.
+  adjacent points vs cold-start replays of every point;
+- ``stencil.blocked`` — cache-blocked stencil sweeps (any tile shape,
+  remainder tiles included) vs the unblocked reference, plus the batched
+  vs scalar walk of the blocked access stream;
+- ``conv.im2col`` — convolution lowered through im2col + DGEMM vs the
+  directly-blocked gather nest, plus the batched vs scalar walk of the
+  direct lowering's access stream.
 
 Result documents contain only JSON-able leaves. Float64 payloads (C
 tiles/panels) are compared bit-exactly: values are carried as exact
@@ -1032,4 +1038,225 @@ register(Oracle(
     reference=lambda p: _asym_run(p, weighted=False),
     fast=lambda p: _asym_run(p, weighted=True),
     shrink=_asym_shrink,
+))
+
+
+# =============================================================================
+# stencil.blocked — cache-blocked stencil vs the unblocked reference
+# =============================================================================
+
+
+def _stencil_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    hi = 12 if budget == "smoke" else 24
+    machine = random_machine(rng, budget)
+    radius = rng.choice((1, 1, 2))
+    lo = 2 * radius + 2
+    return {
+        "machine": machine,
+        "core": rng.randrange(machine["cores"]),
+        "hier_seed": rng.randint(0, 2**31 - 1),
+        "height": rng.randint(lo, max(lo, hi)),
+        "width": rng.randint(lo, max(lo, hi)),
+        "radius": radius,
+        "alpha": rng.choice((0.25, 0.1, 0.125)),
+        "iterations": rng.randint(1, 3),
+        # Deliberately free-running tile sizes: remainder tiles (blocks
+        # that do not divide the interior) are the interesting cases.
+        "bi": rng.randint(1, 8),
+        "bj": rng.randint(1, 8),
+        "data_seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _stencil_run(params: Dict[str, Any], blocked: bool) -> Dict[str, Any]:
+    from repro.workloads.base import simulate_workload_cache
+    from repro.workloads.stencil import (
+        StencilSpec,
+        StencilWorkload,
+        stencil_blocked,
+        stencil_reference,
+    )
+
+    chip = build_chip(params["machine"])
+    spec = StencilSpec(
+        radius=params["radius"],
+        alpha=params["alpha"],
+        iterations=params["iterations"],
+    )
+    workload = StencilWorkload(
+        params["height"], params["width"], spec=spec,
+        block=(params["bi"], params["bj"]), seed=params["data_seed"],
+    )
+    grid = workload.make_grid()
+    if blocked:
+        out = stencil_blocked(grid, spec, (params["bi"], params["bj"]))
+        engine = "batched"
+    else:
+        out = stencil_reference(grid, spec)
+        engine = "scalar"
+    # Both sides walk the *blocked* access stream; only the cache engine
+    # differs, so the counters must agree bit-for-bit too.
+    walk = simulate_workload_cache(
+        workload, chip, core=params["core"] % chip.cores,
+        engine=engine, seed=params["hier_seed"],
+    )
+    return {
+        "output": _array_doc(out),
+        "flops": workload.flops,
+        "walk": {
+            "l1_loads": walk.l1_loads,
+            "l1_load_misses": walk.l1_load_misses,
+            "l1_load_miss_rate": walk.l1_load_miss_rate,
+            "l2_loads": walk.l2_loads,
+            "l2_load_misses": walk.l2_load_misses,
+            "dram_accesses": walk.dram_accesses,
+            "trace_records": walk.trace_records,
+        },
+    }
+
+
+def _stencil_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    lo = 2 * params["radius"] + 1
+    for dim in ("height", "width"):
+        if params[dim] > lo:
+            yield {**params, dim: max(lo, params[dim] // 2)}
+            yield {**params, dim: params[dim] - 1}
+    if params["radius"] > 1:
+        yield {**params, "radius": 1}
+    if params["iterations"] > 1:
+        yield {**params, "iterations": 1}
+    for blk in ("bi", "bj"):
+        if params[blk] > 1:
+            yield {**params, blk: params[blk] // 2}
+    if params["core"] > 0:
+        yield {**params, "core": 0}
+    for machine in simplified_machines(params["machine"]):
+        yield {**params, "machine": machine}
+
+
+register(Oracle(
+    name="stencil.blocked",
+    suite="workloads",
+    description=(
+        "cache-blocked stencil sweeps (remainder tiles included) are "
+        "bit-identical to the unblocked reference, and the batched walk "
+        "of the blocked stream matches the scalar walk"
+    ),
+    generate=_stencil_generate,
+    reference=lambda p: _stencil_run(p, blocked=False),
+    fast=lambda p: _stencil_run(p, blocked=True),
+    shrink=_stencil_shrink,
+))
+
+
+# =============================================================================
+# conv.im2col — im2col + DGEMM lowering vs the directly-blocked gather nest
+# =============================================================================
+
+
+def _conv_generate(rng: random.Random, budget: str) -> Dict[str, Any]:
+    hi = 4 if budget == "smoke" else 8
+    machine = random_machine(rng, budget)
+    kh, kw = rng.randint(1, 3), rng.randint(1, 3)
+    mr, nr = rng.choice(_TILES)
+    return {
+        "machine": machine,
+        "core": rng.randrange(machine["cores"]),
+        "hier_seed": rng.randint(0, 2**31 - 1),
+        "cin": rng.randint(1, 3),
+        "height": kh + rng.randint(0, hi),
+        "width": kw + rng.randint(0, hi),
+        "kh": kh,
+        "kw": kw,
+        "filters": rng.randint(1, 8),
+        "blocking": {
+            "mr": mr,
+            "nr": nr,
+            "kc": rng.choice((2, 4, 8)),
+            "mc": rng.choice((4, 8, 16)),
+            "nc": rng.choice((6, 12, 16)),
+        },
+        "data_seed": rng.randint(0, 2**31 - 1),
+    }
+
+
+def _conv_run(params: Dict[str, Any], direct: bool) -> Dict[str, Any]:
+    from repro.workloads.base import simulate_workload_cache
+    from repro.workloads.conv import (
+        ConvSpec,
+        ConvWorkload,
+        conv_direct,
+        conv_im2col,
+    )
+
+    chip = build_chip(params["machine"])
+    spec = ConvSpec(
+        cin=params["cin"], height=params["height"], width=params["width"],
+        kh=params["kh"], kw=params["kw"], filters=params["filters"],
+    )
+    blk = params["blocking"]
+    blocking = CacheBlocking(
+        mr=blk["mr"], nr=blk["nr"], kc=blk["kc"], mc=blk["mc"],
+        nc=blk["nc"], k1=1, k2=1, k3=1,
+    )
+    workload = ConvWorkload(
+        spec, "direct", blocking, seed=params["data_seed"]
+    )
+    x, w = workload.make_operands()
+    fn = conv_direct if direct else conv_im2col
+    out = fn(x, w, blocking=blocking)
+    # Both sides walk the *direct* lowering's access stream (the im2col
+    # stream legitimately differs — it materializes the patches matrix);
+    # only the cache engine changes between them.
+    walk = simulate_workload_cache(
+        workload, chip, core=params["core"] % chip.cores,
+        engine="scalar" if direct else "batched",
+        seed=params["hier_seed"],
+    )
+    return {
+        "out": _array_doc(out),
+        "flops": workload.flops,
+        "walk": {
+            "l1_loads": walk.l1_loads,
+            "l1_load_misses": walk.l1_load_misses,
+            "l1_load_miss_rate": walk.l1_load_miss_rate,
+            "l2_loads": walk.l2_loads,
+            "l2_load_misses": walk.l2_load_misses,
+            "dram_accesses": walk.dram_accesses,
+            "trace_records": walk.trace_records,
+        },
+    }
+
+
+def _conv_shrink(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    for dim, floor in (("height", params["kh"]), ("width", params["kw"]),
+                       ("cin", 1), ("filters", 1)):
+        if params[dim] > floor:
+            yield {**params, dim: max(floor, params[dim] // 2)}
+            yield {**params, dim: params[dim] - 1}
+    for dim in ("kh", "kw"):
+        if params[dim] > 1:
+            yield {**params, dim: params[dim] - 1}
+    blk = params["blocking"]
+    for key in ("kc", "mc", "nc"):
+        if blk[key] > 2:
+            yield {**params, "blocking": {**blk, key: blk[key] // 2}}
+    if params["core"] > 0:
+        yield {**params, "core": 0}
+    for machine in simplified_machines(params["machine"]):
+        yield {**params, "machine": machine}
+
+
+register(Oracle(
+    name="conv.im2col",
+    suite="workloads",
+    description=(
+        "convolution lowered through im2col + blocked DGEMM is "
+        "bit-identical to the directly-blocked gather nest, and the "
+        "batched walk of the direct stream matches the scalar walk"
+    ),
+    generate=_conv_generate,
+    reference=lambda p: _conv_run(p, direct=True),
+    fast=lambda p: _conv_run(p, direct=False),
+    shrink=_conv_shrink,
 ))

@@ -1,0 +1,618 @@
+"""Direct convolution workloads: im2col lowering vs. a blocked loop nest.
+
+A valid (no padding, stride 1) 2D convolution of a ``(cin, H, W)`` image
+with ``(F, cin, KH, KW)`` filters is a GEMM in disguise: the ``im2col``
+lowering materializes the ``(P, K)`` patches matrix (``P = OH*OW``
+output positions, ``K = cin*KH*KW`` reduction length) and multiplies it
+by the ``(K, F)`` filter matrix through the existing
+:func:`~repro.gemm.driver.dgemm` path. The **direct** path runs the same
+Goto loop nest but never materializes patches — each packed A sliver is
+gathered straight from the image (the "last-mile" trick that turns
+im2col's ``P*K``-element scratch matrix into an L1-resident pack
+buffer).
+
+The differential contract: :func:`conv_direct` is **bit-equal** to
+:func:`conv_im2col` for *every* blocking. That holds by construction —
+the direct gather produces, sliver for sliver, the same C-contiguous
+zero-padded buffers :func:`~repro.gemm.packing.pack_a` would build from
+the patches matrix, so :func:`~repro.gemm.gebp.gebp` sees identical
+inputs in an identical call sequence. The ``conv.im2col`` oracle and the
+property suite enforce it.
+
+Blocked-vs-unblocked comparisons carry one extra constraint the stencil
+family does not need: ``kc`` splits the reduction sum and the per-tile
+matmul shape feeds BLAS kernel selection, so bit-equality across two
+*different* blockings requires both to share ``mr``, ``nr`` and ``kc``
+with ``mc``/``nc`` multiples of ``mr``/``nr`` (then every register tile
+has the same shape and the k-sum the same split on both sides).
+:func:`unblocked_conv_blocking` builds the conforming "one giant block"
+configuration for a given blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.params import ChipParams
+from repro.blocking.cache_blocking import CacheBlocking, solve_cache_blocking
+from repro.errors import SimulationError
+from repro.gemm.driver import dgemm
+from repro.gemm.gebp import gebp
+from repro.gemm.packing import pack_b
+from repro.gemm.trace import GemmTrace
+from repro.isa.instructions import Fmla, Instruction, Ldr, Str
+from repro.isa.registers import VReg, XReg
+from repro.memory.batch import ACCESS_DTYPE, BatchTrace
+from repro.memory.cache import CODE_LOAD, CODE_STORE
+from repro.workloads.base import Workload, WorkloadResult
+
+__all__ = [
+    "ConvSpec",
+    "ConvWorkload",
+    "conv_direct",
+    "conv_im2col",
+    "conv_reference",
+    "filter_matrix",
+    "im2col",
+    "solve_conv_blocking",
+    "unblocked_conv_blocking",
+]
+
+# Modeled address space (per core; cores relocate by CORE_STRIDE).
+X_BASE = 0
+W_BASE = 1 << 26
+PATCHES_BASE = 1 << 27
+PACKA_BASE = 1 << 28
+PACKB_BASE = (1 << 28) + (1 << 27)
+C_BASE = 1 << 29
+CORE_STRIDE = 1 << 30
+
+_ELEM = 8  # float64
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One valid-mode, stride-1 convolution problem.
+
+    Attributes:
+        cin: Input channels.
+        height, width: Image extents.
+        kh, kw: Filter extents (``kh <= height``, ``kw <= width``).
+        filters: Output channels ``F``.
+    """
+
+    cin: int
+    height: int
+    width: int
+    kh: int
+    kw: int
+    filters: int
+
+    def __post_init__(self) -> None:
+        if min(self.cin, self.height, self.width, self.kh, self.kw,
+               self.filters) < 1:
+            raise SimulationError(f"conv extents must be positive: {self}")
+        if self.kh > self.height or self.kw > self.width:
+            raise SimulationError(
+                f"filter {self.kh}x{self.kw} exceeds image "
+                f"{self.height}x{self.width}"
+            )
+
+    @property
+    def out_height(self) -> int:
+        return self.height - self.kh + 1
+
+    @property
+    def out_width(self) -> int:
+        return self.width - self.kw + 1
+
+    @property
+    def p(self) -> int:
+        """GEMM M: output positions."""
+        return self.out_height * self.out_width
+
+    @property
+    def k(self) -> int:
+        """GEMM K: reduction length."""
+        return self.cin * self.kh * self.kw
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.p * self.k * self.filters
+
+
+def im2col(x: np.ndarray, kh: int, kw: int) -> np.ndarray:
+    """Materialize the ``(P, K)`` patches matrix of a ``(cin, H, W)`` image.
+
+    ``patches[p, k] = x[c, oy + dh, ox + dw]`` with ``p = oy*OW + ox``
+    (row-major output positions) and ``k = (c*kh + dh)*kw + dw``
+    (channel-major reduction index) — the layout under which the filter
+    matrix is the plain reshape of the filter tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise SimulationError(f"image must be (cin, H, W): shape {x.shape}")
+    cin, h, w = x.shape
+    oh, ow = h - kh + 1, w - kw + 1
+    if oh < 1 or ow < 1:
+        raise SimulationError(f"filter {kh}x{kw} exceeds image {h}x{w}")
+    # windows[c, dh, dw, oy, ox] — a strided view, no copy.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (oh, ow), axis=(1, 2))
+    # -> (P, K) with the documented index order.
+    patches = windows.transpose(3, 4, 0, 1, 2).reshape(oh * ow, cin * kh * kw)
+    return np.ascontiguousarray(patches)
+
+
+def filter_matrix(w: np.ndarray) -> np.ndarray:
+    """Reshape ``(F, cin, kh, kw)`` filters to the ``(K, F)`` GEMM operand."""
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 4:
+        raise SimulationError(
+            f"filters must be (F, cin, kh, kw): shape {w.shape}"
+        )
+    f = w.shape[0]
+    return np.ascontiguousarray(w.reshape(f, -1).T)
+
+
+def conv_reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Plain einsum convolution — the *numeric* (allclose) reference."""
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    cin, h, wid = x.shape
+    f, cin2, kh, kw = w.shape
+    if cin != cin2:
+        raise SimulationError(f"channel mismatch: image {cin}, filters {cin2}")
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kh, kw), axis=(1, 2)
+    )  # (cin, OH, OW, kh, kw)
+    return np.einsum("cyxhw,fchw->fyx", windows, w, optimize=True)
+
+
+def conv_im2col(
+    x: np.ndarray,
+    w: np.ndarray,
+    blocking: Optional[CacheBlocking] = None,
+) -> np.ndarray:
+    """Convolution via im2col + the existing blocked DGEMM.
+
+    Returns the ``(F, OH, OW)`` output tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    f, _, kh, kw = w.shape
+    oh, ow = x.shape[1] - kh + 1, x.shape[2] - kw + 1
+    patches = im2col(x, kh, kw)
+    wmat = filter_matrix(w)
+    out = np.zeros((patches.shape[0], f), order="F")
+    out = dgemm(patches, wmat, out, alpha=1.0, beta=0.0, blocking=blocking)
+    return np.ascontiguousarray(out.T).reshape(f, oh, ow)
+
+
+def _gather_packed_a(
+    x: np.ndarray,
+    spec: ConvSpec,
+    ii: int,
+    mcur: int,
+    kk: int,
+    kcur: int,
+    mr: int,
+) -> np.ndarray:
+    """Gather one packed A block straight from the image.
+
+    Produces bit-for-bit what ``pack_a(im2col(x)[ii:ii+mcur, kk:kk+kcur],
+    mr)`` would: a C-contiguous zeros-initialized ``(ceil(mcur/mr),
+    kcur, mr)`` buffer with ``out[s, k, i] = patches[ii + s*mr + i,
+    kk + k]`` — but the values come from ``x`` by index arithmetic, so
+    the patches matrix never exists.
+    """
+    ow = spec.out_width
+    p = ii + np.arange(mcur)
+    oy, ox = p // ow, p % ow
+    kidx = kk + np.arange(kcur)
+    c, rem = kidx // (spec.kh * spec.kw), kidx % (spec.kh * spec.kw)
+    dh, dw = rem // spec.kw, rem % spec.kw
+    # vals[i, k] = x[c_k, oy_i + dh_k, ox_i + dw_k]
+    vals = x[c[None, :], oy[:, None] + dh[None, :], ox[:, None] + dw[None, :]]
+    ns = -(-mcur // mr)
+    out = np.zeros((ns, kcur, mr))
+    for s in range(ns):
+        lo, hi = s * mr, min((s + 1) * mr, mcur)
+        out[s, :, : hi - lo] = vals[lo:hi, :].T
+    return out
+
+
+def conv_direct(
+    x: np.ndarray,
+    w: np.ndarray,
+    blocking: Optional[CacheBlocking] = None,
+) -> np.ndarray:
+    """Directly-blocked convolution: the Goto nest without the scratch
+    matrix.
+
+    Mirrors :func:`~repro.gemm.driver.dgemm`'s jj/kk/ii structure (with
+    ``alpha = 1``, ``beta = 0``) exactly, but every packed A block is
+    gathered from the image by :func:`_gather_packed_a`. Bit-equal to
+    :func:`conv_im2col` under the same blocking.
+    """
+    from repro.gemm.driver import DEFAULT_BLOCKING
+
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    f, cin, kh, kw = w.shape
+    if x.shape[0] != cin:
+        raise SimulationError(
+            f"channel mismatch: image {x.shape[0]}, filters {cin}"
+        )
+    spec = ConvSpec(cin=cin, height=x.shape[1], width=x.shape[2],
+                    kh=kh, kw=kw, filters=f)
+    blk = blocking or DEFAULT_BLOCKING
+    m, kdim, n = spec.p, spec.k, f
+    wmat = filter_matrix(w)
+    out = np.zeros((m, n), order="F")
+
+    # The dgemm loop nest, alpha=1/beta=0 specialization.
+    for jj in range(0, n, blk.nc):
+        ncur = min(blk.nc, n - jj)
+        first_k = True
+        for kk in range(0, kdim, blk.kc):
+            kcur = min(blk.kc, kdim - kk)
+            if first_k:
+                out[:, jj : jj + ncur] = 0.0
+            packed_b = pack_b(wmat[kk : kk + kcur, jj : jj + ncur], blk.nr)
+            for ii in range(0, m, blk.mc):
+                mcur = min(blk.mc, m - ii)
+                packed_a = _gather_packed_a(
+                    x, spec, ii, mcur, kk, kcur, blk.mr
+                )
+                gebp(
+                    packed_a,
+                    packed_b,
+                    out[ii : ii + mcur, jj : jj + ncur],
+                    blk.mr,
+                    blk.nr,
+                )
+            first_k = False
+    return np.ascontiguousarray(out.T).reshape(f, spec.out_height,
+                                               spec.out_width)
+
+
+def solve_conv_blocking(chip: ChipParams, spec: ConvSpec) -> CacheBlocking:
+    """Block the convolution GEMM against the Table III machinery.
+
+    The paper's 8x6 solve, clamped to the problem: ``kc`` to the
+    reduction length, ``mc``/``nc`` to the (register-tile-rounded)
+    problem extents — keeping ``mc % mr == 0`` and ``nc % nr == 0`` so
+    the result stays comparable (bit-equal) with its
+    :func:`unblocked_conv_blocking` counterpart.
+    """
+    blk = solve_cache_blocking(chip, 8, 6)
+    mr, nr = blk.mr, blk.nr
+    kc = min(blk.kc, spec.k)
+    mc = min(blk.mc, -(-spec.p // mr) * mr)
+    nc = min(blk.nc - blk.nc % nr, -(-spec.filters // nr) * nr)
+    return CacheBlocking(
+        mr=mr, nr=nr, kc=kc, mc=max(mc, mr), nc=max(nc, nr),
+        k1=blk.k1, k2=blk.k2, k3=blk.k3,
+    )
+
+
+def unblocked_conv_blocking(
+    spec: ConvSpec, blocking: CacheBlocking
+) -> CacheBlocking:
+    """The "one giant block" configuration comparable to ``blocking``.
+
+    Keeps ``mr``/``nr``/``kc`` (register tiles and the k-split are part
+    of the bit-equality contract) and opens ``mc``/``nc`` to cover the
+    whole problem in one layer-2/3 iteration.
+    """
+    mr, nr = blocking.mr, blocking.nr
+    return CacheBlocking(
+        mr=mr, nr=nr, kc=blocking.kc,
+        mc=-(-spec.p // mr) * mr,
+        nc=-(-spec.filters // nr) * nr,
+        k1=blocking.k1, k2=blocking.k2, k3=blocking.k3,
+    )
+
+
+class ConvWorkload(Workload):
+    """One convolution execution: problem, lowering, and blocking.
+
+    Args:
+        spec: The convolution problem.
+        lowering: ``"im2col"`` (materialize patches, then DGEMM) or
+            ``"direct"`` (gather packed blocks from the image).
+        blocking: The GEMM blocking; required (solve one with
+            :func:`solve_conv_blocking`).
+        seed: Image/filter initialization seed.
+    """
+
+    name = "conv"
+    LOWERINGS = ("im2col", "direct")
+
+    def __init__(
+        self,
+        spec: ConvSpec,
+        lowering: str,
+        blocking: CacheBlocking,
+        seed: int = 0,
+    ) -> None:
+        if lowering not in self.LOWERINGS:
+            raise SimulationError(
+                f"unknown lowering {lowering!r}; choose from {self.LOWERINGS}"
+            )
+        self.spec = spec
+        self.lowering = lowering
+        self.blocking = blocking
+        self.seed = seed
+
+    def make_operands(self) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        s = self.spec
+        x = rng.standard_normal((s.cin, s.height, s.width))
+        w = rng.standard_normal((s.filters, s.cin, s.kh, s.kw))
+        return x, w
+
+    @property
+    def flops(self) -> int:
+        return self.spec.flops
+
+    def run(self) -> WorkloadResult:
+        x, w = self.make_operands()
+        fn = conv_im2col if self.lowering == "im2col" else conv_direct
+        out = fn(x, w, blocking=self.blocking)
+        return WorkloadResult(output=out, flops=self.flops)
+
+    # -- machine-model faces -------------------------------------------------
+
+    def _patch_source_addresses(self, p: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """Image byte addresses of ``patches[p, k]`` (direct gather)."""
+        s = self.spec
+        oy, ox = p // s.out_width, p % s.out_width
+        c, rem = k // (s.kh * s.kw), k % (s.kh * s.kw)
+        dh, dw = rem // s.kw, rem % s.kw
+        return X_BASE + (
+            (c * s.height + oy + dh) * s.width + ox + dw
+        ) * _ELEM
+
+    def _pack_a_rows(
+        self, ii: int, mcur: int, kk: int, kcur: int
+    ) -> np.ndarray:
+        """Pack-A phase rows: per sliver, (k-major, i-minor) load+store."""
+        s = self.spec
+        mr = self.blocking.mr
+        rows: List[np.ndarray] = []
+        ns = -(-mcur // mr)
+        for sl in range(ns):
+            lo, hi = sl * mr, min((sl + 1) * mr, mcur)
+            kg, ig = np.mgrid[0:kcur, lo:hi]
+            kg, ig = kg.ravel(), ig.ravel()
+            p = ii + ig
+            kidx = kk + kg
+            if self.lowering == "im2col":
+                src = PATCHES_BASE + (p * s.k + kidx) * _ELEM
+            else:
+                src = self._patch_source_addresses(p, kidx)
+            dst = PACKA_BASE + ((sl * kcur + kg) * mr + (ig - lo)) * _ELEM
+            rec = np.empty(2 * src.size, dtype=ACCESS_DTYPE)
+            rec["address"][0::2] = src
+            rec["address"][1::2] = dst
+            rec["kind"][0::2] = CODE_LOAD
+            rec["kind"][1::2] = CODE_STORE
+            rec["nbytes"] = _ELEM
+            rec["level"] = 1
+            rows.append(rec)
+        return np.concatenate(rows)
+
+    def _pack_b_rows(self, jj: int, ncur: int, kk: int, kcur: int) -> np.ndarray:
+        s = self.spec
+        nr = self.blocking.nr
+        rows: List[np.ndarray] = []
+        ns = -(-ncur // nr)
+        for sl in range(ns):
+            lo, hi = sl * nr, min((sl + 1) * nr, ncur)
+            kg, jg = np.mgrid[0:kcur, lo:hi]
+            kg, jg = kg.ravel(), jg.ravel()
+            src = W_BASE + ((kk + kg) * s.filters + jj + jg) * _ELEM
+            dst = PACKB_BASE + ((sl * kcur + kg) * nr + (jg - lo)) * _ELEM
+            rec = np.empty(2 * src.size, dtype=ACCESS_DTYPE)
+            rec["address"][0::2] = src
+            rec["address"][1::2] = dst
+            rec["kind"][0::2] = CODE_LOAD
+            rec["kind"][1::2] = CODE_STORE
+            rec["nbytes"] = _ELEM
+            rec["level"] = 1
+            rows.append(rec)
+        return np.concatenate(rows)
+
+    def _gebp_rows(
+        self, jj: int, ncur: int, kk: int, kcur: int, ii: int, mcur: int
+    ) -> np.ndarray:
+        """GEBP streaming rows: per register tile, C load -> k-loop
+        (mr packed-A + nr packed-B loads) -> C store."""
+        s = self.spec
+        mr, nr = self.blocking.mr, self.blocking.nr
+        na, nb = -(-mcur // mr), -(-ncur // nr)
+        rows: List[np.ndarray] = []
+        for j in range(nb):
+            jlo, jhi = j * nr, min((j + 1) * nr, ncur)
+            for i in range(na):
+                ilo, ihi = i * mr, min((i + 1) * mr, mcur)
+                # C tile addresses, column-major over the (P, F) output.
+                ci, cj = np.mgrid[ilo:ihi, jlo:jhi]
+                c_addr = C_BASE + (
+                    (jj + cj.T.ravel()) * s.p + ii + ci.T.ravel()
+                ) * _ELEM
+                kg = np.arange(kcur)
+                a_addr = PACKA_BASE + (
+                    ((i * kcur + kg)[:, None] * mr + np.arange(mr)[None, :])
+                    * _ELEM
+                ).ravel()
+                b_addr = PACKB_BASE + (
+                    ((j * kcur + kg)[:, None] * nr + np.arange(nr)[None, :])
+                    * _ELEM
+                ).ravel()
+                # Interleave per k: mr A loads then nr B loads.
+                k_addr = np.concatenate(
+                    [
+                        a_addr.reshape(kcur, mr),
+                        b_addr.reshape(kcur, nr),
+                    ],
+                    axis=1,
+                ).ravel()
+                n_c = c_addr.size
+                rec = np.empty(2 * n_c + k_addr.size, dtype=ACCESS_DTYPE)
+                rec["address"][:n_c] = c_addr
+                rec["kind"][:n_c] = CODE_LOAD
+                rec["address"][n_c : n_c + k_addr.size] = k_addr
+                rec["kind"][n_c : n_c + k_addr.size] = CODE_LOAD
+                rec["address"][n_c + k_addr.size :] = c_addr
+                rec["kind"][n_c + k_addr.size :] = CODE_STORE
+                rec["nbytes"] = _ELEM
+                rec["level"] = 1
+                rows.append(rec)
+        return np.concatenate(rows)
+
+    def _loop_nest(self):
+        """(jj, ncur, kk, kcur, ii, mcur) in dgemm's iteration order;
+        ii=None rows mark the per-(jj, kk) pack-B step."""
+        s, blk = self.spec, self.blocking
+        for jj in range(0, s.filters, blk.nc):
+            ncur = min(blk.nc, s.filters - jj)
+            for kk in range(0, s.k, blk.kc):
+                kcur = min(blk.kc, s.k - kk)
+                yield jj, ncur, kk, kcur, None, None
+                for ii in range(0, s.p, blk.mc):
+                    mcur = min(blk.mc, s.p - ii)
+                    yield jj, ncur, kk, kcur, ii, mcur
+
+    def traces(
+        self, chip: ChipParams, core: int = 0
+    ) -> Tuple[BatchTrace, BatchTrace]:
+        """Compile ``(warm, main)`` access streams.
+
+        Warm-up installs the just-written image and filter tensors. The
+        main stream follows the loop nest: an im2col workload first
+        materializes the patches matrix (image load + scratch store per
+        element), then both lowerings run pack-B/pack-A/GEBP — with
+        pack-A reading the scratch matrix (im2col) or gathering from the
+        image (direct). The GEBP streaming rows are identical in both.
+        """
+        s = self.spec
+        line = chip.l1d.line_bytes
+        warm_parts = []
+        for base, nbytes in (
+            (X_BASE, s.cin * s.height * s.width * _ELEM),
+            (W_BASE, s.k * s.filters * _ELEM),
+        ):
+            addr = base + np.arange(0, nbytes, line, dtype=np.int64)
+            rec = np.empty(addr.size, dtype=ACCESS_DTYPE)
+            rec["address"] = addr
+            rec["nbytes"] = 1
+            rec["kind"] = CODE_STORE
+            rec["level"] = 1
+            warm_parts.append(rec)
+        warm = np.concatenate(warm_parts)
+
+        parts: List[np.ndarray] = []
+        if self.lowering == "im2col":
+            pg, kg = np.mgrid[0 : s.p, 0 : s.k]
+            pg, kg = pg.ravel(), kg.ravel()
+            src = self._patch_source_addresses(pg, kg)
+            dst = PATCHES_BASE + (pg * s.k + kg) * _ELEM
+            rec = np.empty(2 * src.size, dtype=ACCESS_DTYPE)
+            rec["address"][0::2] = src
+            rec["address"][1::2] = dst
+            rec["kind"][0::2] = CODE_LOAD
+            rec["kind"][1::2] = CODE_STORE
+            rec["nbytes"] = _ELEM
+            rec["level"] = 1
+            parts.append(rec)
+        for jj, ncur, kk, kcur, ii, mcur in self._loop_nest():
+            if ii is None:
+                parts.append(self._pack_b_rows(jj, ncur, kk, kcur))
+            else:
+                parts.append(self._pack_a_rows(ii, mcur, kk, kcur))
+                parts.append(self._gebp_rows(jj, ncur, kk, kcur, ii, mcur))
+        main = np.concatenate(parts)
+
+        shift = core * CORE_STRIDE
+        return (
+            BatchTrace(warm).shifted(shift),
+            BatchTrace(main).shifted(shift),
+        )
+
+    def kernel_segments(
+        self, chip: ChipParams
+    ) -> List[Tuple[List[Instruction], int]]:
+        """The loop nest as ISA segments, one LDR per trace demand load.
+
+        Segment bodies are cached per shape and reused (the same list
+        object), so the compiled engine's per-template memo collapses
+        the thousands of identical register tiles.
+        """
+        mr, nr = self.blocking.mr, self.blocking.nr
+        src_ptr, dst_ptr = XReg(0), XReg(1)
+        a_ptr, b_ptr, c_ptr = XReg(2), XReg(3), XReg(4)
+
+        copy_body: List[Instruction] = [
+            Ldr(VReg(0), src_ptr, post_increment=_ELEM, tag="copy"),
+            Str(VReg(0), dst_ptr, post_increment=_ELEM, tag="copy"),
+        ]
+
+        # fmla micro-kernel body per k: mr A + nr B loads, mr*nr/2 FMAs.
+        k_body: List[Instruction] = []
+        a_regs = [VReg(i) for i in range(8)]
+        b_regs = [VReg(8 + i) for i in range(6)]
+        accs = [VReg(14 + i) for i in range(18)]
+        for i in range(mr):
+            k_body.append(Ldr(a_regs[i % 8], a_ptr, tag="A"))
+        for j in range(nr):
+            k_body.append(Ldr(b_regs[j % 6], b_ptr, tag="B"))
+        n_fma = max(1, (mr * nr) // 2)
+        for t in range(n_fma):
+            k_body.append(
+                Fmla(
+                    accs[t % len(accs)],
+                    a_regs[t % 8],
+                    b_regs[t % 6].lane(t % 2),
+                )
+            )
+
+        c_load_cache: dict = {}
+        c_store_cache: dict = {}
+
+        def c_load(n: int) -> List[Instruction]:
+            if n not in c_load_cache:
+                c_load_cache[n] = [
+                    Ldr(accs[t % len(accs)], c_ptr, tag="C") for t in range(n)
+                ]
+            return c_load_cache[n]
+
+        def c_store(n: int) -> List[Instruction]:
+            if n not in c_store_cache:
+                c_store_cache[n] = [
+                    Str(accs[t % len(accs)], c_ptr, tag="C") for t in range(n)
+                ]
+            return c_store_cache[n]
+
+        segments: List[Tuple[List[Instruction], int]] = []
+        s = self.spec
+        if self.lowering == "im2col":
+            segments.append((copy_body, s.p * s.k))
+        for jj, ncur, kk, kcur, ii, mcur in self._loop_nest():
+            if ii is None:
+                segments.append((copy_body, kcur * ncur))
+                continue
+            segments.append((copy_body, kcur * mcur))
+            na, nb = -(-mcur // mr), -(-ncur // nr)
+            for j in range(nb):
+                nrv = min(nr, ncur - j * nr)
+                for i in range(na):
+                    mrv = min(mr, mcur - i * mr)
+                    segments.append((c_load(mrv * nrv), 1))
+                    segments.append((k_body, kcur))
+                    segments.append((c_store(mrv * nrv), 1))
+        return segments

@@ -43,6 +43,7 @@ class TestRegistry:
             "gemm.pool", "cachesim.batch", "timed.compiled",
             "timed.oddtile", "cachesim.writethrough", "sweep.incremental",
             "lru.array", "serve.cache", "tune.memo", "asym.partition",
+            "stencil.blocked", "conv.im2col",
         ]
 
     def test_suites_cover_every_oracle(self):
